@@ -1,0 +1,89 @@
+// Command benchrunner regenerates the paper's evaluation figures on the
+// synthetic datasets and prints paper-style result tables:
+//
+//	Figure 3 — design decisions: naive generation vs navigation+dataframes
+//	           vs RDFFrames on the three case studies,
+//	Figure 4 — RDFFrames vs rdflib-style/SPARQL+dataframes/expert SPARQL,
+//	Figure 5 — naive and RDFFrames ratios to expert SPARQL on Q1..Q15.
+//
+// Usage:
+//
+//	benchrunner                 # all figures, small scale
+//	benchrunner -scale bench -fig 5 -timeout 60s
+//	benchrunner -verify         # also verify result equality across approaches
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"rdfframes/internal/bench"
+	"rdfframes/internal/datagen"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
+		figFlag   = flag.String("fig", "3,4,5", "comma-separated figures to run")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
+		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
+	)
+	flag.Parse()
+
+	scale := bench.ScaleSmall
+	if *scaleFlag == "bench" {
+		scale = bench.ScaleBench
+	} else if *scaleFlag != "small" {
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating datasets (%s scale)...\n", *scaleFlag)
+	env, err := bench.NewEnv(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+	for _, uri := range []string{datagen.DBpediaURI, datagen.DBLPURI, datagen.YAGOURI} {
+		fmt.Fprintf(os.Stderr, "  <%s>: %d triples\n", uri, env.Store.Graph(uri).Len())
+	}
+
+	if *verify {
+		fmt.Fprintln(os.Stderr, "verifying result equality across approaches...")
+		for _, task := range bench.CaseStudies() {
+			approaches := []bench.Approach{bench.Naive, bench.Expert, bench.NavPandas, bench.SPARQLPandas, bench.ScanPandas}
+			if err := bench.VerifyTask(env, task, approaches); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for _, task := range bench.Synthetic() {
+			if err := bench.VerifyTask(env, task, []bench.Approach{bench.Naive, bench.Expert}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "all approaches agree on all tasks")
+	}
+
+	for _, fig := range strings.Split(*figFlag, ",") {
+		switch strings.TrimSpace(fig) {
+		case "3":
+			rows := bench.RunFigure3(env, *timeout)
+			fmt.Println(bench.FormatFigure(
+				"Figure 3: evaluating the design of RDFFrames (case studies, seconds)",
+				rows, []bench.Approach{bench.Naive, bench.NavPandas, bench.RDFFrames}))
+		case "4":
+			rows := bench.RunFigure4(env, *timeout)
+			fmt.Println(bench.FormatFigure(
+				"Figure 4: comparing RDFFrames to alternative baselines (case studies, seconds)",
+				rows, []bench.Approach{bench.ScanPandas, bench.SPARQLPandas, bench.Expert, bench.RDFFrames}))
+		case "5":
+			rows := bench.RunFigure5(env, *timeout)
+			fmt.Println(bench.FormatFigure5(rows))
+		default:
+			log.Fatalf("unknown figure %q", fig)
+		}
+	}
+}

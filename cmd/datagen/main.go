@@ -1,0 +1,64 @@
+// Command datagen writes the synthetic benchmark knowledge graphs as
+// N-Triples files, for loading into rdfframes-server (or any RDF engine).
+//
+// Usage:
+//
+//	datagen -scale small -out ./data
+//	datagen -scale bench -out ./data -graphs dbpedia,dblp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rdfframes/internal/datagen"
+	"rdfframes/internal/rdf"
+)
+
+func main() {
+	var (
+		scale  = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
+		out    = flag.String("out", ".", "output directory")
+		graphs = flag.String("graphs", "dbpedia,dblp,yago", "comma-separated graphs to generate")
+	)
+	flag.Parse()
+
+	dbpCfg, dblpCfg, yagoCfg := datagen.SmallDBpedia(), datagen.SmallDBLP(), datagen.SmallYAGO()
+	if *scale == "bench" {
+		dbpCfg, dblpCfg, yagoCfg = datagen.BenchDBpedia(), datagen.BenchDBLP(), datagen.BenchYAGO()
+	} else if *scale != "small" {
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range strings.Split(*graphs, ",") {
+		var triples []rdf.Triple
+		switch strings.TrimSpace(g) {
+		case "dbpedia":
+			triples = datagen.DBpedia(dbpCfg)
+		case "dblp":
+			triples = datagen.DBLP(dblpCfg)
+		case "yago":
+			triples = datagen.YAGO(yagoCfg)
+		default:
+			log.Fatalf("unknown graph %q", g)
+		}
+		path := filepath.Join(*out, g+".nt")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rdf.WriteNTriples(f, triples); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d triples to %s\n", len(triples), path)
+	}
+}

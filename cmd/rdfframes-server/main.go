@@ -1,0 +1,104 @@
+// Command rdfframes-server serves a SPARQL endpoint over an RDF dataset:
+// either N-Triples files loaded from disk or the built-in synthetic
+// benchmark datasets. It is the stand-in for the RDF engine (Virtuoso) in
+// the paper's experimental setup.
+//
+// Usage:
+//
+//	rdfframes-server -listen :8080 -synthetic small
+//	rdfframes-server -listen :8080 -load http://g1=dump1.nt -load http://g2=dump2.nt
+//	rdfframes-server -maxrows 10000 -timeout 30s ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rdfframes/internal/datagen"
+	"rdfframes/internal/server"
+	"rdfframes/internal/sparql"
+	"rdfframes/internal/store"
+)
+
+type loadFlags []string
+
+func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	var (
+		listen    = flag.String("listen", ":8080", "address to serve on")
+		synthetic = flag.String("synthetic", "", `generate synthetic datasets instead of loading: "small" or "bench"`)
+		maxRows   = flag.Int("maxrows", 0, "cap rows per response (0 = unlimited); clients must paginate past it")
+		timeout   = flag.Duration("timeout", time.Minute, "per-query evaluation deadline (0 = none)")
+		loads     loadFlags
+	)
+	flag.Var(&loads, "load", "graphURI=file.nt pair to load (repeatable)")
+	flag.Parse()
+
+	st := store.New()
+	switch *synthetic {
+	case "small":
+		mustLoadSynthetic(st, datagen.SmallDBpedia(), datagen.SmallDBLP(), datagen.SmallYAGO())
+	case "bench":
+		mustLoadSynthetic(st, datagen.BenchDBpedia(), datagen.BenchDBLP(), datagen.BenchYAGO())
+	case "":
+		if len(loads) == 0 {
+			fmt.Fprintln(os.Stderr, "nothing to serve: pass -synthetic small|bench or -load graph=file.nt")
+			os.Exit(2)
+		}
+	default:
+		log.Fatalf("unknown -synthetic value %q", *synthetic)
+	}
+	for _, spec := range loads {
+		parts := strings.SplitN(spec, "=", 2)
+		if len(parts) != 2 {
+			log.Fatalf("bad -load %q, want graphURI=file.nt", spec)
+		}
+		f, err := os.Open(parts[1])
+		if err != nil {
+			log.Fatalf("opening %s: %v", parts[1], err)
+		}
+		var n int
+		if strings.HasSuffix(parts[1], ".ttl") || strings.HasSuffix(parts[1], ".turtle") {
+			n, err = st.LoadTurtle(parts[0], f)
+		} else {
+			n, err = st.LoadNTriples(parts[0], f)
+		}
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading %s: %v", parts[1], err)
+		}
+		log.Printf("loaded %d triples into <%s>", n, parts[0])
+	}
+
+	eng := sparql.NewEngine(st)
+	eng.Timeout = *timeout
+	srv := server.New(eng)
+	srv.MaxRows = *maxRows
+	srv.Logger = log.Default()
+
+	for _, uri := range st.GraphURIs() {
+		log.Printf("graph <%s>: %d triples", uri, st.Graph(uri).Len())
+	}
+	log.Printf("SPARQL endpoint on %s/sparql (maxrows=%d, timeout=%v)", *listen, *maxRows, *timeout)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}
+
+func mustLoadSynthetic(st *store.Store, dbp datagen.DBpediaConfig, dblp datagen.DBLPConfig, yago datagen.YAGOConfig) {
+	if err := st.AddAll(datagen.DBpediaURI, datagen.DBpedia(dbp)); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.AddAll(datagen.DBLPURI, datagen.DBLP(dblp)); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.AddAll(datagen.YAGOURI, datagen.YAGO(yago)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: build an RDFFrame with navigation and relational operators,
+// inspect the generated SPARQL, and execute it.
+//
+// By default the example generates a small synthetic DBpedia-like graph and
+// queries it in-process. Set RDFFRAMES_ENDPOINT to a SPARQL endpoint URL
+// (e.g. one served by cmd/rdfframes-server) to run against HTTP instead.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rdfframes"
+	"rdfframes/internal/datagen"
+	"rdfframes/internal/store"
+)
+
+func main() {
+	client, err := connect()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	graph := rdfframes.NewKnowledgeGraph(datagen.DBpediaURI, datagen.DBpediaPrefixes())
+
+	// Prolific actors: who stars in at least five movies, sorted by count.
+	prolific := graph.FeatureDomainRange("dbpp:starring", "movie", "actor").
+		GroupBy("actor").CountDistinct("movie", "movie_count").
+		Filter(rdfframes.Conds{"movie_count": {">=5"}}).
+		Sort(rdfframes.Desc("movie_count")).
+		Head(10)
+
+	query, err := prolific.ToSPARQL()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Generated SPARQL:")
+	fmt.Println(query)
+
+	df, err := prolific.Execute(client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top prolific actors:")
+	fmt.Println(df)
+
+	// Exploration: what entity classes does the graph contain?
+	classes, err := graph.Classes("class", "instances").Execute(client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Class distribution:")
+	fmt.Println(classes)
+}
+
+func connect() (rdfframes.Client, error) {
+	if ep := os.Getenv("RDFFRAMES_ENDPOINT"); ep != "" {
+		fmt.Fprintf(os.Stderr, "connecting to %s\n", ep)
+		return rdfframes.ConnectHTTP(ep, 10000), nil
+	}
+	fmt.Fprintln(os.Stderr, "generating synthetic DBpedia-like graph (set RDFFRAMES_ENDPOINT to use HTTP)")
+	st := store.New()
+	if err := st.AddAll(datagen.DBpediaURI, datagen.DBpedia(datagen.SmallDBpedia())); err != nil {
+		return nil, err
+	}
+	return rdfframes.ConnectStore(st), nil
+}

@@ -1,0 +1,21 @@
+package rdfframes
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"rdfframes/internal/server"
+	"rdfframes/internal/sparql"
+	"rdfframes/internal/store"
+)
+
+// newHTTPEndpoint starts a SPARQL endpoint over st for the duration of the
+// test and returns its query URL. maxRows caps rows per response.
+func newHTTPEndpoint(t testing.TB, st *store.Store, maxRows int) string {
+	t.Helper()
+	srv := server.New(sparql.NewEngine(st))
+	srv.MaxRows = maxRows
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL + "/sparql"
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+var (
+	envOnce sync.Once
+	testEnv *Env
+	envErr  error
+)
+
+func sharedEnv(t testing.TB) *Env {
+	t.Helper()
+	envOnce.Do(func() { testEnv, envErr = NewEnv(ScaleSmall) })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return testEnv
+}
+
+func TestAllTasksDefined(t *testing.T) {
+	if n := len(CaseStudies()); n != 3 {
+		t.Fatalf("case studies = %d, want 3", n)
+	}
+	if n := len(Synthetic()); n != 15 {
+		t.Fatalf("synthetic queries = %d, want 15", n)
+	}
+	seen := map[string]bool{}
+	for _, task := range append(CaseStudies(), Synthetic()...) {
+		if seen[task.ID] {
+			t.Fatalf("duplicate task id %s", task.ID)
+		}
+		seen[task.ID] = true
+	}
+}
+
+// TestFramesCompileAndParse checks every task's RDFFrames and naive queries
+// compile and are valid SPARQL, and every expert query parses.
+func TestFramesCompileAndParse(t *testing.T) {
+	env := sharedEnv(t)
+	for _, task := range append(CaseStudies(), Synthetic()...) {
+		t.Run(task.ID, func(t *testing.T) {
+			frame := task.Frame(env)
+			q, err := frame.ToSPARQL()
+			if err != nil {
+				t.Fatalf("ToSPARQL: %v", err)
+			}
+			if _, err := sparql.Parse(q); err != nil {
+				t.Fatalf("generated query does not parse: %v\n%s", err, q)
+			}
+			nq, err := frame.ToNaiveSPARQL()
+			if err != nil {
+				t.Fatalf("ToNaiveSPARQL: %v", err)
+			}
+			if _, err := sparql.Parse(nq); err != nil {
+				t.Fatalf("naive query does not parse: %v\n%s", err, nq)
+			}
+			if _, err := sparql.Parse(task.Expert(env)); err != nil {
+				t.Fatalf("expert query does not parse: %v\n%s", err, task.Expert(env))
+			}
+		})
+	}
+}
+
+// TestTasksReturnRows runs every task under RDFFrames and checks the row
+// expectations, ensuring the synthetic datasets actually exercise each
+// query.
+func TestTasksReturnRows(t *testing.T) {
+	env := sharedEnv(t)
+	for _, task := range append(CaseStudies(), Synthetic()...) {
+		t.Run(task.ID, func(t *testing.T) {
+			df, err := task.Run(env, RDFFrames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if task.CheckRows != nil {
+				if err := task.CheckRows(df.Len()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSyntheticApproachesAgree verifies RDFFrames, naive, and expert
+// produce identical row bags for every synthetic query.
+func TestSyntheticApproachesAgree(t *testing.T) {
+	env := sharedEnv(t)
+	for _, task := range Synthetic() {
+		t.Run(task.ID, func(t *testing.T) {
+			if err := VerifyTask(env, task, []Approach{Naive, Expert}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCaseStudyApproachesAgree verifies all six approaches agree on the
+// case studies.
+func TestCaseStudyApproachesAgree(t *testing.T) {
+	env := sharedEnv(t)
+	for _, task := range CaseStudies() {
+		t.Run(task.ID, func(t *testing.T) {
+			approaches := []Approach{Naive, Expert, NavPandas, SPARQLPandas, ScanPandas}
+			if err := VerifyTask(env, task, approaches); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMeasureReportsTimeout(t *testing.T) {
+	env := sharedEnv(t)
+	task := CaseStudies()[0]
+	m := task.Measure(env, Naive, time.Nanosecond)
+	if m.Err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestFigureFormatting(t *testing.T) {
+	env := sharedEnv(t)
+	rows := runTasks(env, CaseStudies()[2:3], []Approach{Expert, RDFFrames}, time.Minute)
+	out := FormatFigure("Figure 4 excerpt", rows, []Approach{Expert, RDFFrames})
+	if !strings.Contains(out, "cs3") || !strings.Contains(out, "Expert") {
+		t.Fatalf("format output missing fields:\n%s", out)
+	}
+	f5 := runTasks(env, Synthetic()[:2], []Approach{Expert, Naive, RDFFrames}, time.Minute)
+	out5 := FormatFigure5(f5)
+	if !strings.Contains(out5, "naive/expert") {
+		t.Fatalf("figure 5 output malformed:\n%s", out5)
+	}
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+
+	"rdfframes"
+)
+
+// CaseStudies returns the paper's three case studies (§6.1), the workloads
+// of Figures 3 and 4. Thresholds are scaled to the synthetic datasets (the
+// paper uses 20/200 movies and 20 papers at DBpedia/DBLP scale).
+func CaseStudies() []*Task {
+	return []*Task{
+		movieGenreTask(),
+		topicModelingTask(),
+		kgEmbeddingTask(),
+	}
+}
+
+// movieGenreTask is case study 6.1.1: the dataframe behind movie genre
+// classification — movies starring American or prolific actors, with movie
+// and actor features and optional genre (Listing 3).
+func movieGenreTask() *Task {
+	const threshold = 10
+	return &Task{
+		ID:   "cs1",
+		Name: "Movie genre classification (DBpedia)",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			movies := env.DBpedia.FeatureDomainRange("dbpp:starring", "movie", "actor").
+				Expand("actor",
+					rdfframes.Out("dbpp:birthPlace", "actor_country"),
+					rdfframes.Out("rdfs:label", "actor_name")).
+				Expand("movie",
+					rdfframes.Out("rdfs:label", "movie_name"),
+					rdfframes.Out("dcterms:subject", "subject"),
+					rdfframes.Out("dbpp:country", "movie_country"),
+					rdfframes.Out("dbpo:genre", "genre").Opt()).
+				Cache()
+			american := movies.FilterRaw("actor_country",
+				`regex(str(?actor_country), "United_States")`)
+			prolific := movies.GroupBy("actor").CountDistinct("movie", "movie_count").
+				Filter(rdfframes.Conds{"movie_count": {fmt.Sprintf(">=%d", threshold)}})
+			return american.Join(prolific, "actor", rdfframes.FullOuterJoin).
+				Join(movies, "actor", rdfframes.InnerJoin)
+		},
+		Expert: func(env *Env) string {
+			return fmt.Sprintf(`
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT *
+FROM <http://dbpedia.org>
+WHERE {
+  ?movie dbpp:starring ?actor .
+  ?actor dbpp:birthPlace ?actor_country ;
+         rdfs:label ?actor_name .
+  ?movie rdfs:label ?movie_name ;
+         dcterms:subject ?subject ;
+         dbpp:country ?movie_country
+  OPTIONAL { ?movie dbpo:genre ?genre }
+  {
+    { SELECT *
+      WHERE {
+        { SELECT *
+          WHERE {
+            ?movie dbpp:starring ?actor .
+            ?actor dbpp:birthPlace ?actor_country ;
+                   rdfs:label ?actor_name .
+            ?movie rdfs:label ?movie_name ;
+                   dcterms:subject ?subject ;
+                   dbpp:country ?movie_country
+            FILTER regex(str(?actor_country), "United_States")
+            OPTIONAL { ?movie dbpo:genre ?genre }
+          }
+        }
+        OPTIONAL {
+          SELECT DISTINCT ?actor (COUNT(DISTINCT ?movie) AS ?movie_count)
+          WHERE {
+            ?movie dbpp:starring ?actor .
+            ?actor dbpp:birthPlace ?actor_country ;
+                   rdfs:label ?actor_name .
+            ?movie rdfs:label ?movie_name ;
+                   dcterms:subject ?subject ;
+                   dbpp:country ?movie_country
+            OPTIONAL { ?movie dbpo:genre ?genre }
+          }
+          GROUP BY ?actor
+          HAVING ( COUNT(DISTINCT ?movie) >= %[1]d )
+        }
+      }
+    }
+    UNION
+    { SELECT *
+      WHERE {
+        { SELECT DISTINCT ?actor (COUNT(DISTINCT ?movie) AS ?movie_count)
+          WHERE {
+            ?movie dbpp:starring ?actor .
+            ?actor dbpp:birthPlace ?actor_country ;
+                   rdfs:label ?actor_name .
+            ?movie rdfs:label ?movie_name ;
+                   dcterms:subject ?subject ;
+                   dbpp:country ?movie_country
+            OPTIONAL { ?movie dbpo:genre ?genre }
+          }
+          GROUP BY ?actor
+          HAVING ( COUNT(DISTINCT ?movie) >= %[1]d )
+        }
+        OPTIONAL {
+          SELECT *
+          WHERE {
+            ?movie dbpp:starring ?actor .
+            ?actor dbpp:birthPlace ?actor_country ;
+                   rdfs:label ?actor_name .
+            ?movie rdfs:label ?movie_name ;
+                   dcterms:subject ?subject ;
+                   dbpp:country ?movie_country
+            FILTER regex(str(?actor_country), "United_States")
+            OPTIONAL { ?movie dbpo:genre ?genre }
+          }
+        }
+      }
+    }
+  }
+}`, threshold)
+		},
+		CheckRows: positive,
+	}
+}
+
+// topicModelingTask is case study 6.1.2: titles of recent papers by
+// prolific SIGMOD/VLDB authors (Listing 5).
+func topicModelingTask() *Task {
+	const threshold = 12
+	return &Task{
+		ID:   "cs2",
+		Name: "Topic modeling (DBLP)",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			papers := env.DBLP.Entities("swrc:InProceedings", "paper").
+				Expand("paper",
+					rdfframes.Out("dc:creator", "author"),
+					rdfframes.Out("dcterm:issued", "date"),
+					rdfframes.Out("swrc:series", "conference"),
+					rdfframes.Out("dc:title", "title")).
+				Cache()
+			authors := papers.
+				FilterRaw("date", "year(xsd:dateTime(?date)) >= 2005").
+				Filter(rdfframes.Conds{"conference": {"In(dblprc:vldb, dblprc:sigmod)"}}).
+				GroupBy("author").Count("paper", "n_papers").
+				Filter(rdfframes.Conds{"n_papers": {fmt.Sprintf(">=%d", threshold)}}).
+				FilterRaw("date", "year(xsd:dateTime(?date)) >= 2005")
+			return papers.Join(authors, "author", rdfframes.InnerJoin).SelectCols("title")
+		},
+		Expert: func(env *Env) string {
+			return fmt.Sprintf(`
+PREFIX swrc: <http://swrc.ontoware.org/ontology#>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX dc: <http://purl.org/dc/elements/1.1/>
+PREFIX dcterm: <http://purl.org/dc/terms/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+PREFIX dblprc: <http://dblp.l3s.de/d2r/resource/conferences/>
+SELECT ?title
+FROM <http://dblp.l3s.de>
+WHERE {
+  ?paper dc:title ?title ;
+         rdf:type swrc:InProceedings ;
+         dcterm:issued ?date ;
+         dc:creator ?author
+  FILTER ( year(xsd:dateTime(?date)) >= 2005 )
+  { SELECT ?author
+    WHERE {
+      ?paper rdf:type swrc:InProceedings ;
+             swrc:series ?conference ;
+             dc:creator ?author ;
+             dcterm:issued ?date
+      FILTER ( ( year(xsd:dateTime(?date)) >= 2005 )
+            && ( ?conference IN (dblprc:vldb, dblprc:sigmod) ) )
+    }
+    GROUP BY ?author
+    HAVING ( COUNT(?paper) >= %d )
+  }
+}`, threshold)
+		},
+		CheckRows: positive,
+	}
+}
+
+// kgEmbeddingTask is case study 6.1.3: all entity-to-entity triples
+// (Listing 7).
+func kgEmbeddingTask() *Task {
+	return &Task{
+		ID:   "cs3",
+		Name: "Knowledge graph embedding (DBLP)",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return env.DBLP.FeatureDomainRange("pred", "sub", "obj").
+				Filter(rdfframes.Conds{"obj": {"isURI"}})
+		},
+		Expert: func(env *Env) string {
+			return `
+SELECT *
+FROM <http://dblp.l3s.de>
+WHERE {
+  ?sub ?pred ?obj .
+  FILTER ( isIRI(?obj) )
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+func positive(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("bench: expected non-empty result, got %d rows", n)
+	}
+	return nil
+}

@@ -1,0 +1,573 @@
+package bench
+
+import (
+	"rdfframes"
+)
+
+// Synthetic returns the paper's 15-query synthetic workload (§6.2,
+// Table 2 / Appendix B), adapted to the synthetic datasets' schema. Four
+// queries use only expand and filter, four use grouping with expand, and
+// seven use joins including outer joins, multi-joins, cross-graph joins,
+// and joins over grouped frames.
+func Synthetic() []*Task {
+	return []*Task{
+		q1(), q2(), q3(), q4(), q5(), q6(), q7(), q8(), q9(), q10(),
+		q11(), q12(), q13(), q14(), q15(),
+	}
+}
+
+// Q1: basketball players with their attributes, plus their team's sponsor,
+// name, and president if available.
+func q1() *Task {
+	return &Task{
+		ID:   "Q1",
+		Name: "Basketball players with optional team details",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return env.DBpedia.Entities("dbpr:BasketballPlayer", "player").
+				Expand("player",
+					rdfframes.Out("dbpp:nationality", "nationality"),
+					rdfframes.Out("dbpp:birthPlace", "place"),
+					rdfframes.Out("dbpp:birthDate", "born"),
+					rdfframes.Out("dbpp:team", "team")).
+				Expand("team",
+					rdfframes.Out("dbpp:sponsor", "sponsor").Opt(),
+					rdfframes.Out("rdfs:label", "team_name").Opt(),
+					rdfframes.Out("dbpp:president", "president").Opt())
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?player a dbpr:BasketballPlayer ;
+          dbpp:nationality ?nationality ;
+          dbpp:birthPlace ?place ;
+          dbpp:birthDate ?born ;
+          dbpp:team ?team .
+  OPTIONAL { ?team dbpp:sponsor ?sponsor }
+  OPTIONAL { ?team rdfs:label ?team_name }
+  OPTIONAL { ?team dbpp:president ?president }
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// teamDetails builds the frame of teams with sponsor/name/president.
+func teamDetails(env *Env) *rdfframes.RDFFrame {
+	return env.DBpedia.Entities("dbpr:BasketballTeam", "team").
+		Expand("team",
+			rdfframes.Out("dbpp:sponsor", "sponsor"),
+			rdfframes.Out("rdfs:label", "team_name"),
+			rdfframes.Out("dbpp:president", "president"))
+}
+
+// playerCounts builds the per-team player count frame.
+func playerCounts(env *Env) *rdfframes.RDFFrame {
+	return env.DBpedia.Seed("player", "dbpp:team", "team").
+		GroupBy("team").Count("player", "player_count")
+}
+
+const teamCountExpert = `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?team a dbpr:BasketballTeam ;
+        dbpp:sponsor ?sponsor ;
+        rdfs:label ?team_name ;
+        dbpp:president ?president .
+  %s {
+    SELECT DISTINCT ?team (COUNT(?player) AS ?player_count)
+    WHERE { ?player dbpp:team ?team }
+    GROUP BY ?team
+  }
+}`
+
+// Q2: teams with sponsor, name, president, and player count.
+func q2() *Task {
+	return &Task{
+		ID:   "Q2",
+		Name: "Teams with player counts",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return teamDetails(env).Join(playerCounts(env), "team", rdfframes.InnerJoin)
+		},
+		Expert: func(env *Env) string {
+			return sprintfExpert(teamCountExpert, "")
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q3: like Q2 but the player count is optional.
+func q3() *Task {
+	return &Task{
+		ID:   "Q3",
+		Name: "Teams with optional player counts",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return teamDetails(env).Join(playerCounts(env), "team", rdfframes.LeftOuterJoin)
+		},
+		Expert: func(env *Env) string {
+			return sprintfExpert(teamCountExpert, "OPTIONAL")
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q4: American actors present in both DBpedia and YAGO (cross-graph inner
+// join on names).
+func q4() *Task {
+	return &Task{
+		ID:   "Q4",
+		Name: "American actors in DBpedia and YAGO",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			dbp := env.DBpedia.Entities("dbpr:Actor", "actor").
+				Expand("actor",
+					rdfframes.Out("dbpp:birthPlace", "country"),
+					rdfframes.Out("rdfs:label", "name")).
+				Filter(rdfframes.Conds{"country": {"=dbpr:United_States"}})
+			yago := env.YAGO.Entities("yago:Actor", "yactor").
+				Expand("yactor", rdfframes.Out("rdfs:label", "yname"))
+			return dbp.JoinOn(yago, "name", "yname", rdfframes.InnerJoin, "name")
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX yago: <http://yago-knowledge.org/resource/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT *
+FROM <http://dbpedia.org>
+FROM <http://yago-knowledge.org>
+WHERE {
+  GRAPH <http://dbpedia.org> {
+    ?actor a dbpr:Actor ;
+           dbpp:birthPlace ?country ;
+           rdfs:label ?name .
+    FILTER ( ?country = dbpr:United_States )
+  }
+  GRAPH <http://yago-knowledge.org> {
+    ?yactor a yago:Actor ; rdfs:label ?name .
+  }
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// filmFilters is the shared Q5/Q14 film selection.
+func filmBase(env *Env) *rdfframes.RDFFrame {
+	return env.DBpedia.FeatureDomainRange("dbpp:starring", "movie", "actor").
+		Expand("movie",
+			rdfframes.Out("dbpp:country", "country"),
+			rdfframes.Out("dbpp:studio", "studio"),
+			rdfframes.Out("dbpo:genre", "genre"),
+			rdfframes.Out("dbpp:language", "language")).
+		Filter(rdfframes.Conds{
+			"country": {"In(dbpr:India, dbpr:United_States)"},
+			"studio":  {"!=dbpr:Eskay_Movies"},
+			"genre":   {"In(dbpr:Film_score, dbpr:Soundtrack, dbpr:Rock_music, dbpr:House_music, dbpr:Dubstep)"},
+		})
+}
+
+const filmExpertBody = `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?movie dbpp:starring ?actor ;
+         dbpp:country ?country ;
+         dbpp:studio ?studio ;
+         dbpo:genre ?genre ;
+         dbpp:language ?language .
+  %s
+  FILTER ( ?country IN (dbpr:India, dbpr:United_States) )
+  FILTER ( ?studio != dbpr:Eskay_Movies )
+  FILTER ( ?genre IN (dbpr:Film_score, dbpr:Soundtrack, dbpr:Rock_music, dbpr:House_music, dbpr:Dubstep) )
+}`
+
+// Q5: filtered films with actor, director, producer, and language.
+func q5() *Task {
+	return &Task{
+		ID:   "Q5",
+		Name: "Films from selected studios and genres",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return filmBase(env).Expand("movie",
+				rdfframes.Out("dbpp:director", "director"),
+				rdfframes.Out("dbpp:producer", "producer"))
+		},
+		Expert: func(env *Env) string {
+			return sprintfExpert(filmExpertBody,
+				"?movie dbpp:director ?director ; dbpp:producer ?producer .")
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q6: Q1 without the optional team details (all required).
+func q6() *Task {
+	return &Task{
+		ID:   "Q6",
+		Name: "Basketball players with required team details",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return env.DBpedia.Entities("dbpr:BasketballPlayer", "player").
+				Expand("player",
+					rdfframes.Out("dbpp:nationality", "nationality"),
+					rdfframes.Out("dbpp:birthPlace", "place"),
+					rdfframes.Out("dbpp:birthDate", "born"),
+					rdfframes.Out("dbpp:team", "team")).
+				Expand("team",
+					rdfframes.Out("dbpp:sponsor", "sponsor"),
+					rdfframes.Out("rdfs:label", "team_name"),
+					rdfframes.Out("dbpp:president", "president"))
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?player a dbpr:BasketballPlayer ;
+          dbpp:nationality ?nationality ;
+          dbpp:birthPlace ?place ;
+          dbpp:birthDate ?born ;
+          dbpp:team ?team .
+  ?team dbpp:sponsor ?sponsor ;
+        rdfs:label ?team_name ;
+        dbpp:president ?president .
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q7: players, their teams, and the number of players on each team
+// (join of patterns with a grouped frame).
+func q7() *Task {
+	return &Task{
+		ID:   "Q7",
+		Name: "Players with team sizes",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			pairs := env.DBpedia.Seed("player", "dbpp:team", "team")
+			return pairs.Join(playerCounts(env), "team", rdfframes.InnerJoin)
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?player dbpp:team ?team .
+  {
+    SELECT DISTINCT ?team (COUNT(?player) AS ?player_count)
+    WHERE { ?player dbpp:team ?team }
+    GROUP BY ?team
+  }
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q8: films with many attributes and several filters.
+func q8() *Task {
+	return &Task{
+		ID:   "Q8",
+		Name: "Film catalog with attribute filters",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return env.DBpedia.FeatureDomainRange("dbpp:starring", "movie", "actor").
+				Expand("movie",
+					rdfframes.Out("dbpp:director", "director"),
+					rdfframes.Out("dbpp:country", "country"),
+					rdfframes.Out("dbpp:language", "language"),
+					rdfframes.Out("rdfs:label", "title"),
+					rdfframes.Out("dbpo:genre", "genre"),
+					rdfframes.Out("dbpp:story", "story"),
+					rdfframes.Out("dbpp:studio", "studio"),
+					rdfframes.Out("dbpp:runtime", "runtime")).
+				Filter(rdfframes.Conds{
+					"country": {"In(dbpr:United_States, dbpr:India, dbpr:France)"},
+					"studio":  {"!=dbpr:Eskay_Movies"},
+					"genre":   {"In(dbpr:Drama, dbpr:Comedy, dbpr:Action)"},
+					"runtime": {">=90"},
+				})
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?movie dbpp:starring ?actor ;
+         dbpp:director ?director ;
+         dbpp:country ?country ;
+         dbpp:language ?language ;
+         rdfs:label ?title ;
+         dbpo:genre ?genre ;
+         dbpp:story ?story ;
+         dbpp:studio ?studio ;
+         dbpp:runtime ?runtime .
+  FILTER ( ?country IN (dbpr:United_States, dbpr:India, dbpr:France) )
+  FILTER ( ?studio != dbpr:Eskay_Movies )
+  FILTER ( ?genre IN (dbpr:Drama, dbpr:Comedy, dbpr:Action) )
+  FILTER ( ?runtime >= 90 )
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q9: pairs of films sharing genre and country, with optional second-film
+// details.
+func q9() *Task {
+	return &Task{
+		ID:   "Q9",
+		Name: "Film pairs sharing genre and country",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			left := env.DBpedia.Seed("movie", "dbpo:genre", "genre").
+				Expand("movie", rdfframes.Out("dbpp:country", "country"),
+					rdfframes.Out("dbpp:studio", "studio"))
+			right := env.DBpedia.Seed("movie2", "dbpo:genre", "genre2").
+				Expand("movie2", rdfframes.Out("dbpp:country", "country2"),
+					rdfframes.Out("dbpp:director", "director2").Opt())
+			return left.JoinOn(right, "genre", "genre2", rdfframes.InnerJoin, "genre").
+				FilterRaw("country", "?country = ?country2").
+				FilterRaw("movie", "?movie != ?movie2")
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?movie dbpo:genre ?genre ;
+         dbpp:country ?country ;
+         dbpp:studio ?studio .
+  ?movie2 dbpo:genre ?genre ;
+          dbpp:country ?country2 .
+  OPTIONAL { ?movie2 dbpp:director ?director2 }
+  FILTER ( ?country = ?country2 )
+  FILTER ( ?movie != ?movie2 )
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q10: athletes with their birthplace and the number of athletes born in
+// the same place (expand after group).
+func q10() *Task {
+	return &Task{
+		ID:   "Q10",
+		Name: "Athletes with birthplace cohort sizes",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			counts := env.DBpedia.Entities("dbpr:Athlete", "athlete").
+				Expand("athlete", rdfframes.Out("dbpp:birthPlace", "place")).
+				GroupBy("place").Count("athlete", "cohort")
+			pairs := env.DBpedia.Entities("dbpr:Athlete", "athlete").
+				Expand("athlete", rdfframes.Out("dbpp:birthPlace", "place"))
+			return pairs.Join(counts, "place", rdfframes.InnerJoin)
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?athlete a dbpr:Athlete ; dbpp:birthPlace ?place .
+  {
+    SELECT DISTINCT ?place (COUNT(?athlete) AS ?cohort)
+    WHERE { ?athlete a dbpr:Athlete ; dbpp:birthPlace ?place }
+    GROUP BY ?place
+  }
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q11: actors available in DBpedia or YAGO (full outer join on names).
+func q11() *Task {
+	return &Task{
+		ID:   "Q11",
+		Name: "Actors in DBpedia or YAGO",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			dbp := env.DBpedia.Entities("dbpr:Actor", "actor").
+				Expand("actor", rdfframes.Out("rdfs:label", "name"))
+			yago := env.YAGO.Entities("yago:Actor", "yactor").
+				Expand("yactor", rdfframes.Out("rdfs:label", "yname"))
+			return dbp.JoinOn(yago, "name", "yname", rdfframes.FullOuterJoin, "name")
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX yago: <http://yago-knowledge.org/resource/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT *
+FROM <http://dbpedia.org>
+FROM <http://yago-knowledge.org>
+WHERE {
+  {
+    GRAPH <http://dbpedia.org> { ?actor a dbpr:Actor ; rdfs:label ?name }
+    OPTIONAL { GRAPH <http://yago-knowledge.org> { ?yactor a yago:Actor ; rdfs:label ?name } }
+  }
+  UNION
+  {
+    GRAPH <http://yago-knowledge.org> { ?yactor a yago:Actor ; rdfs:label ?name }
+    OPTIONAL { GRAPH <http://dbpedia.org> { ?actor a dbpr:Actor ; rdfs:label ?name } }
+  }
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q12: team player counts with the team name expanded after grouping
+// (Case 1 nesting).
+func q12() *Task {
+	return &Task{
+		ID:   "Q12",
+		Name: "Team sizes with names",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return env.DBpedia.Seed("player", "dbpp:team", "team").
+				GroupBy("team").Count("player", "player_count").
+				Expand("team", rdfframes.Out("rdfs:label", "team_name"))
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  {
+    SELECT DISTINCT ?team (COUNT(?player) AS ?player_count)
+    WHERE { ?player dbpp:team ?team }
+    GROUP BY ?team
+  }
+  ?team rdfs:label ?team_name .
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q13: film catalog with three optional attributes.
+func q13() *Task {
+	return &Task{
+		ID:   "Q13",
+		Name: "Film catalog with optional attributes",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return env.DBpedia.FeatureDomainRange("dbpp:starring", "movie", "actor").
+				Expand("movie",
+					rdfframes.Out("dbpp:language", "language"),
+					rdfframes.Out("dbpp:country", "country"),
+					rdfframes.Out("dbpo:genre", "genre"),
+					rdfframes.Out("dbpp:story", "story"),
+					rdfframes.Out("dbpp:studio", "studio"),
+					rdfframes.Out("dbpp:director", "director").Opt(),
+					rdfframes.Out("dbpp:producer", "producer").Opt(),
+					rdfframes.Out("dbpp:title", "title").Opt())
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpo: <http://dbpedia.org/ontology/>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?movie dbpp:starring ?actor ;
+         dbpp:language ?language ;
+         dbpp:country ?country ;
+         dbpo:genre ?genre ;
+         dbpp:story ?story ;
+         dbpp:studio ?studio .
+  OPTIONAL { ?movie dbpp:director ?director }
+  OPTIONAL { ?movie dbpp:producer ?producer }
+  OPTIONAL { ?movie dbpp:title ?title }
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q14: the Q5 film selection with optional producer/director/title.
+func q14() *Task {
+	return &Task{
+		ID:   "Q14",
+		Name: "Filtered films with optional credits",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			return filmBase(env).Expand("movie",
+				rdfframes.Out("dbpp:producer", "producer").Opt(),
+				rdfframes.Out("dbpp:director", "director").Opt(),
+				rdfframes.Out("dbpp:title", "title").Opt())
+		},
+		Expert: func(env *Env) string {
+			return sprintfExpert(filmExpertBody, `
+  OPTIONAL { ?movie dbpp:producer ?producer }
+  OPTIONAL { ?movie dbpp:director ?director }
+  OPTIONAL { ?movie dbpp:title ?title }`)
+		},
+		CheckRows: positive,
+	}
+}
+
+// Q15: books by prolific American authors, with author and optional book
+// details.
+func q15() *Task {
+	return &Task{
+		ID:   "Q15",
+		Name: "Books by prolific American authors",
+		Frame: func(env *Env) *rdfframes.RDFFrame {
+			authors := env.DBpedia.Seed("book", "dbpp:author", "author").
+				Expand("author", rdfframes.Out("dbpp:birthPlace", "place")).
+				Filter(rdfframes.Conds{"place": {"=dbpr:United_States"}}).
+				GroupBy("author").CountDistinct("book", "n_books").
+				Filter(rdfframes.Conds{"n_books": {">2"}})
+			books := env.DBpedia.Seed("book", "dbpp:author", "author").
+				Expand("author",
+					rdfframes.Out("dbpp:country", "country"),
+					rdfframes.Out("dbpp:education", "education").Opt()).
+				Expand("book",
+					rdfframes.Out("dbpp:title", "title"),
+					rdfframes.Out("dcterms:subject", "subject"),
+					rdfframes.Out("dbpp:country", "book_country").Opt(),
+					rdfframes.Out("dbpp:publisher", "publisher").Opt())
+			return books.Join(authors, "author", rdfframes.InnerJoin)
+		},
+		Expert: func(env *Env) string {
+			return `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+PREFIX dcterms: <http://purl.org/dc/terms/>
+SELECT * FROM <http://dbpedia.org> WHERE {
+  ?book dbpp:author ?author ;
+        dbpp:title ?title ;
+        dcterms:subject ?subject .
+  ?author dbpp:country ?country .
+  OPTIONAL { ?author dbpp:education ?education }
+  OPTIONAL { ?book dbpp:country ?book_country }
+  OPTIONAL { ?book dbpp:publisher ?publisher }
+  {
+    SELECT DISTINCT ?author (COUNT(DISTINCT ?book) AS ?n_books)
+    WHERE {
+      ?book dbpp:author ?author .
+      ?author dbpp:birthPlace ?place .
+      FILTER ( ?place = dbpr:United_States )
+    }
+    GROUP BY ?author
+    HAVING ( COUNT(DISTINCT ?book) > 2 )
+  }
+}`
+		},
+		CheckRows: positive,
+	}
+}
+
+func sprintfExpert(format, arg string) string {
+	// A tiny helper keeping expert query templates readable.
+	out := ""
+	for i := 0; i < len(format); i++ {
+		if format[i] == '%' && i+1 < len(format) && format[i+1] == 's' {
+			out += arg
+			i++
+			continue
+		}
+		out += string(format[i])
+	}
+	return out
+}

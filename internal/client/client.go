@@ -1,0 +1,175 @@
+// Package client provides SPARQL query clients for RDFFrames: an HTTP
+// client speaking the SPARQL 1.1 Protocol with transparent result
+// pagination (the paper's Executor component), and an in-process client for
+// embedding the engine directly.
+package client
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+// Client executes SPARQL SELECT queries and returns complete results.
+type Client interface {
+	Select(query string) (*sparql.Results, error)
+}
+
+// HTTPClient talks to a SPARQL endpoint over HTTP. It retrieves results in
+// chunks of PageSize rows (re-issuing the query wrapped with LIMIT/OFFSET)
+// so that endpoint-side row caps and timeouts do not truncate results, and
+// retries transient failures.
+type HTTPClient struct {
+	// Endpoint is the query URL, e.g. "http://host:port/sparql".
+	Endpoint string
+	// PageSize is the pagination chunk size; 0 disables pagination.
+	PageSize int
+	// MaxRetries bounds retries per chunk on transient errors (default 2).
+	MaxRetries int
+	// HTTP is the underlying client; nil uses a 30s-timeout default.
+	HTTP *http.Client
+	// UsePost selects POST form encoding instead of GET (useful for
+	// queries exceeding URL length limits).
+	UsePost bool
+}
+
+// NewHTTPClient returns a client for the endpoint with pagination enabled
+// at the given page size.
+func NewHTTPClient(endpoint string, pageSize int) *HTTPClient {
+	return &HTTPClient{Endpoint: endpoint, PageSize: pageSize}
+}
+
+func (c *HTTPClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Select executes the query, paginating transparently, and returns the full
+// result set.
+func (c *HTTPClient) Select(query string) (*sparql.Results, error) {
+	if c.PageSize <= 0 {
+		return c.fetch(query)
+	}
+	var all *sparql.Results
+	offset := 0
+	for {
+		chunkQuery := paginate(query, c.PageSize, offset)
+		chunk, err := c.fetch(chunkQuery)
+		if err != nil {
+			return nil, fmt.Errorf("client: chunk at offset %d: %w", offset, err)
+		}
+		if all == nil {
+			all = chunk
+		} else {
+			if len(chunk.Vars) != len(all.Vars) {
+				return nil, fmt.Errorf("client: chunk at offset %d changed variables", offset)
+			}
+			all.Rows = append(all.Rows, chunk.Rows...)
+		}
+		if len(chunk.Rows) < c.PageSize {
+			return all, nil
+		}
+		offset += c.PageSize
+	}
+}
+
+func (c *HTTPClient) fetch(query string) (*sparql.Results, error) {
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 2
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+		}
+		res, retryable, err := c.fetchOnce(query)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("client: giving up after retries: %w", lastErr)
+}
+
+func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, retryable bool, err error) {
+	var resp *http.Response
+	if c.UsePost {
+		form := url.Values{"query": {query}}
+		resp, err = c.httpClient().PostForm(c.Endpoint, form)
+	} else {
+		resp, err = c.httpClient().Get(c.Endpoint + "?query=" + url.QueryEscape(query))
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("client: endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return nil, resp.StatusCode >= 500, err
+	}
+	r, err := sparql.ReadJSON(resp.Body)
+	if err != nil {
+		return nil, true, fmt.Errorf("client: decoding results: %w", err)
+	}
+	return r, false, nil
+}
+
+// paginate wraps a query as a subquery with LIMIT/OFFSET, hoisting PREFIX
+// declarations to the outer query so the wrapped body stays valid.
+func paginate(query string, limit, offset int) string {
+	prologue, body := splitPrologue(query)
+	var sb strings.Builder
+	sb.WriteString(prologue)
+	sb.WriteString("SELECT * WHERE {\n{\n")
+	sb.WriteString(body)
+	sb.WriteString("\n}\n}")
+	fmt.Fprintf(&sb, " LIMIT %d OFFSET %d", limit, offset)
+	return sb.String()
+}
+
+// splitPrologue separates leading PREFIX declarations from the query body.
+func splitPrologue(query string) (prologue, body string) {
+	rest := query
+	var sb strings.Builder
+	for {
+		trimmed := strings.TrimLeft(rest, " \t\r\n")
+		if len(trimmed) < 6 || !strings.EqualFold(trimmed[:6], "PREFIX") {
+			return sb.String(), trimmed
+		}
+		// A prefix declaration ends at the closing '>' of its IRI.
+		end := strings.Index(trimmed, ">")
+		if end < 0 {
+			return sb.String(), trimmed
+		}
+		sb.WriteString(trimmed[:end+1])
+		sb.WriteByte('\n')
+		rest = trimmed[end+1:]
+	}
+}
+
+// Direct is an in-process client evaluating queries on a local engine. It
+// implements the same interface as HTTPClient so callers can swap a remote
+// endpoint for an embedded store.
+type Direct struct {
+	Engine *sparql.Engine
+}
+
+// NewDirect returns an in-process client over the engine.
+func NewDirect(engine *sparql.Engine) *Direct { return &Direct{Engine: engine} }
+
+// Select evaluates the query directly on the engine.
+func (d *Direct) Select(query string) (*sparql.Results, error) {
+	return d.Engine.Query(query)
+}

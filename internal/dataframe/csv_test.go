@@ -1,0 +1,52 @@
+package dataframe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfframes/internal/rdf"
+)
+
+func TestWriteCSVPlainValues(t *testing.T) {
+	df := FromRows([]string{"actor", "n"}, [][]rdf.Term{
+		{rdf.NewIRI("http://ex/a1"), rdf.NewInteger(5)},
+		{rdf.NewIRI("http://ex/a2"), {}},
+	})
+	var buf bytes.Buffer
+	if err := df.WriteCSV(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	want := "actor,n\nhttp://ex/a1,5\nhttp://ex/a2,\n"
+	if buf.String() != want {
+		t.Fatalf("got:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+func TestCSVRoundTripFull(t *testing.T) {
+	df := FromRows([]string{"s", "v"}, [][]rdf.Term{
+		{rdf.NewIRI("http://ex/x"), rdf.NewLangLiteral("hé \"quoted\"", "fr")},
+		{rdf.NewBlank("b0"), rdf.NewInteger(-3)},
+		{rdf.NewIRI("http://ex/y"), {}},
+	})
+	var buf bytes.Buffer
+	if err := df.WriteCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MultisetEqual(df, back) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", df, back)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\nnot-a-term,<http://x>\n")); err == nil {
+		t.Fatal("garbage cell accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,409 @@
+// Package datagen generates synthetic knowledge graphs with the schema
+// shape of the datasets in the paper's evaluation: a DBpedia-like graph
+// (movies, actors, basketball players, teams, books, authors), a DBLP-like
+// bibliography graph (papers, authors, venues, years, topical titles), and
+// a YAGO-like graph overlapping the DBpedia actors. Degree distributions
+// are Zipf-skewed and several predicates are deliberately sparse (optional)
+// to reproduce the heterogeneity the paper's queries exercise.
+//
+// Generation is deterministic for a given configuration and seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/store"
+)
+
+// Graph URIs of the generated datasets.
+const (
+	DBpediaURI = "http://dbpedia.org"
+	DBLPURI    = "http://dblp.l3s.de"
+	YAGOURI    = "http://yago-knowledge.org"
+)
+
+// DBpediaPrefixes are the prefix bindings used with the DBpedia-like graph.
+func DBpediaPrefixes() map[string]string {
+	return map[string]string{
+		"dbpp":    "http://dbpedia.org/property/",
+		"dbpr":    "http://dbpedia.org/resource/",
+		"dbpo":    "http://dbpedia.org/ontology/",
+		"dcterms": "http://purl.org/dc/terms/",
+	}
+}
+
+// DBLPPrefixes are the prefix bindings used with the DBLP-like graph.
+func DBLPPrefixes() map[string]string {
+	return map[string]string{
+		"swrc":   "http://swrc.ontoware.org/ontology#",
+		"dc":     "http://purl.org/dc/elements/1.1/",
+		"dcterm": "http://purl.org/dc/terms/",
+		"dblprc": "http://dblp.l3s.de/d2r/resource/conferences/",
+	}
+}
+
+// YAGOPrefixes are the prefix bindings used with the YAGO-like graph.
+func YAGOPrefixes() map[string]string {
+	return map[string]string{"yago": "http://yago-knowledge.org/resource/"}
+}
+
+// DBpediaConfig scales the DBpedia-like generator.
+type DBpediaConfig struct {
+	Seed     int64
+	Actors   int
+	Movies   int
+	Players  int // basketball players
+	Teams    int
+	Athletes int // non-basketball athletes
+	Books    int
+	Authors  int
+}
+
+// SmallDBpedia is a laptop-scale test configuration.
+func SmallDBpedia() DBpediaConfig {
+	return DBpediaConfig{Seed: 1, Actors: 300, Movies: 1200, Players: 150, Teams: 20, Athletes: 150, Books: 150, Authors: 60}
+}
+
+// BenchDBpedia is the configuration used by the benchmark harness.
+func BenchDBpedia() DBpediaConfig {
+	return DBpediaConfig{Seed: 1, Actors: 2000, Movies: 10000, Players: 800, Teams: 60, Athletes: 800, Books: 800, Authors: 250}
+}
+
+var (
+	countries = []string{"United_States", "United_Kingdom", "France", "India", "Germany", "Japan", "Canada", "Italy"}
+	languages = []string{"English", "French", "Hindi", "German", "Japanese", "Italian"}
+	genres    = []string{"Film_score", "Soundtrack", "Rock_music", "House_music", "Dubstep", "Drama", "Comedy", "Action"}
+	studios   = []string{"Warner", "Universal", "Paramount", "Eskay_Movies", "Bollywood_Central", "Lionsgate"}
+)
+
+// dbpediaGen accumulates triples for the DBpedia-like graph.
+type dbpediaGen struct {
+	rng     *rand.Rand
+	triples []rdf.Triple
+	p       *rdf.PrefixMap
+}
+
+func (g *dbpediaGen) res(local string) rdf.Term {
+	return rdf.NewIRI("http://dbpedia.org/resource/" + local)
+}
+
+func (g *dbpediaGen) add(s rdf.Term, pred string, o rdf.Term) {
+	g.triples = append(g.triples, rdf.Triple{S: s, P: rdf.NewIRI(g.p.MustExpand(pred)), O: o})
+}
+
+func (g *dbpediaGen) pick(list []string) string { return list[g.rng.Intn(len(list))] }
+
+// DBpedia generates the DBpedia-like graph.
+func DBpedia(cfg DBpediaConfig) []rdf.Triple {
+	p := rdf.CommonPrefixes()
+	p.Merge(rdf.NewPrefixMap(DBpediaPrefixes()))
+	g := &dbpediaGen{rng: rand.New(rand.NewSource(cfg.Seed)), p: p}
+
+	g.actorsAndMovies(cfg)
+	g.basketball(cfg)
+	g.athletes(cfg)
+	g.books(cfg)
+	return g.triples
+}
+
+func (g *dbpediaGen) actorsAndMovies(cfg DBpediaConfig) {
+	typePred := rdf.NewIRI(rdf.RDFType)
+	// Zipf-skewed actor popularity: low-rank actors star in many movies.
+	zipf := rand.NewZipf(g.rng, 1.3, 4, uint64(max(cfg.Actors-1, 1)))
+	actorCountry := make([]string, cfg.Actors)
+	for a := 0; a < cfg.Actors; a++ {
+		actor := g.res(fmt.Sprintf("actor%d", a))
+		country := g.pick(countries)
+		// Make the head of the distribution lean American so prolific
+		// American actors exist, as the case studies require.
+		if a < cfg.Actors/4 {
+			country = "United_States"
+		}
+		actorCountry[a] = country
+		g.triples = append(g.triples, rdf.Triple{S: actor, P: typePred, O: g.res("Actor")})
+		g.add(actor, "dbpp:birthPlace", g.res(country))
+		g.add(actor, "rdfs:label", rdf.NewLiteral(fmt.Sprintf("Actor %d", a)))
+		if g.rng.Float64() < 0.08 {
+			g.add(actor, "dbpp:academyAward", g.res("Academy_Award_for_Best_Actor"))
+		}
+	}
+	for m := 0; m < cfg.Movies; m++ {
+		movie := g.res(fmt.Sprintf("movie%d", m))
+		g.triples = append(g.triples, rdf.Triple{S: movie, P: typePred, O: g.res("Film")})
+		g.add(movie, "rdfs:label", rdf.NewLiteral(fmt.Sprintf("Movie %d", m)))
+		category := g.rng.Intn(25)
+		g.add(movie, "dcterms:subject", g.res(fmt.Sprintf("Category_%d", category)))
+		g.add(movie, "dbpp:country", g.res(g.pick(countries)))
+		g.add(movie, "dbpp:language", g.res(g.pick(languages)))
+		g.add(movie, "dbpp:runtime", rdf.NewInteger(int64(60+g.rng.Intn(120))))
+		g.add(movie, "dbpp:story", rdf.NewLiteral(fmt.Sprintf("Story of movie %d", m)))
+		g.add(movie, "dbpp:studio", g.res(g.pick(studios)))
+		// One to four actors per movie, skewed towards popular actors.
+		cast := 1 + g.rng.Intn(4)
+		for c := 0; c < cast; c++ {
+			g.add(movie, "dbpp:starring", g.res(fmt.Sprintf("actor%d", int(zipf.Uint64()))))
+		}
+		g.add(movie, "dbpp:director", g.res(fmt.Sprintf("director%d", g.rng.Intn(max(cfg.Movies/20, 1)))))
+		// Sparse (optional) predicates. Genre correlates with the subject
+		// category so the genre classification case study has signal. As
+		// in real knowledge graphs, most genre values come from a long
+		// tail of fine-grained genres; a minority use the well-known ones
+		// the benchmark queries filter on.
+		if g.rng.Float64() < 0.6 {
+			var genre string
+			if g.rng.Float64() < 0.3 {
+				genre = genres[category%len(genres)]
+				if g.rng.Float64() < 0.2 {
+					genre = g.pick(genres)
+				}
+			} else {
+				genre = fmt.Sprintf("Genre_%d", category*12+g.rng.Intn(12))
+			}
+			g.add(movie, "dbpo:genre", g.res(genre))
+		}
+		if g.rng.Float64() < 0.7 {
+			g.add(movie, "dbpp:producer", g.res(fmt.Sprintf("producer%d", g.rng.Intn(max(cfg.Movies/30, 1)))))
+		}
+		if g.rng.Float64() < 0.8 {
+			g.add(movie, "dbpp:title", rdf.NewLiteral(fmt.Sprintf("Movie %d", m)))
+		}
+	}
+}
+
+func (g *dbpediaGen) basketball(cfg DBpediaConfig) {
+	typePred := rdf.NewIRI(rdf.RDFType)
+	for t := 0; t < cfg.Teams; t++ {
+		team := g.res(fmt.Sprintf("team%d", t))
+		g.triples = append(g.triples, rdf.Triple{S: team, P: typePred, O: g.res("BasketballTeam")})
+		g.add(team, "rdfs:label", rdf.NewLiteral(fmt.Sprintf("Team %d", t)))
+		if g.rng.Float64() < 0.7 {
+			g.add(team, "dbpp:sponsor", g.res(fmt.Sprintf("Sponsor_%d", g.rng.Intn(10))))
+		}
+		if g.rng.Float64() < 0.8 {
+			g.add(team, "dbpp:president", g.res(fmt.Sprintf("President_%d", t)))
+		}
+	}
+	for a := 0; a < cfg.Players; a++ {
+		player := g.res(fmt.Sprintf("bplayer%d", a))
+		g.triples = append(g.triples, rdf.Triple{S: player, P: typePred, O: g.res("BasketballPlayer")})
+		g.triples = append(g.triples, rdf.Triple{S: player, P: typePred, O: g.res("Athlete")})
+		g.add(player, "dbpp:nationality", g.res(g.pick(countries)))
+		g.add(player, "dbpp:birthPlace", g.res(g.pick(countries)))
+		g.add(player, "dbpp:birthDate", rdf.NewTypedLiteral(
+			fmt.Sprintf("%d-%02d-%02d", 1960+g.rng.Intn(45), 1+g.rng.Intn(12), 1+g.rng.Intn(28)), rdf.XSDDate))
+		if cfg.Teams > 0 {
+			g.add(player, "dbpp:team", g.res(fmt.Sprintf("team%d", g.rng.Intn(cfg.Teams))))
+		}
+	}
+}
+
+func (g *dbpediaGen) athletes(cfg DBpediaConfig) {
+	typePred := rdf.NewIRI(rdf.RDFType)
+	for a := 0; a < cfg.Athletes; a++ {
+		ath := g.res(fmt.Sprintf("athlete%d", a))
+		g.triples = append(g.triples, rdf.Triple{S: ath, P: typePred, O: g.res("Athlete")})
+		g.add(ath, "dbpp:birthPlace", g.res(g.pick(countries)))
+		if cfg.Teams > 0 && g.rng.Float64() < 0.8 {
+			g.add(ath, "dbpp:team", g.res(fmt.Sprintf("team%d", g.rng.Intn(cfg.Teams))))
+		}
+	}
+}
+
+func (g *dbpediaGen) books(cfg DBpediaConfig) {
+	typePred := rdf.NewIRI(rdf.RDFType)
+	for a := 0; a < cfg.Authors; a++ {
+		author := g.res(fmt.Sprintf("author%d", a))
+		country := g.pick(countries)
+		if a < cfg.Authors/3 {
+			country = "United_States"
+		}
+		g.triples = append(g.triples, rdf.Triple{S: author, P: typePred, O: g.res("Writer")})
+		g.add(author, "dbpp:birthPlace", g.res(country))
+		g.add(author, "dbpp:country", g.res(country))
+		if g.rng.Float64() < 0.6 {
+			g.add(author, "dbpp:education", g.res(fmt.Sprintf("University_%d", g.rng.Intn(12))))
+		}
+	}
+	for b := 0; b < cfg.Books; b++ {
+		book := g.res(fmt.Sprintf("book%d", b))
+		g.triples = append(g.triples, rdf.Triple{S: book, P: typePred, O: g.res("Book")})
+		if cfg.Authors > 0 {
+			// Skew: a third of authors wrote most books.
+			author := g.rng.Intn(max(cfg.Authors/2, 1))
+			g.add(book, "dbpp:author", g.res(fmt.Sprintf("author%d", author)))
+		}
+		g.add(book, "dbpp:title", rdf.NewLiteral(fmt.Sprintf("Book %d", b)))
+		g.add(book, "dcterms:subject", g.res(fmt.Sprintf("Category_%d", g.rng.Intn(15))))
+		if g.rng.Float64() < 0.7 {
+			g.add(book, "dbpp:country", g.res(g.pick(countries)))
+		}
+		if g.rng.Float64() < 0.6 {
+			g.add(book, "dbpp:publisher", g.res(fmt.Sprintf("Publisher_%d", g.rng.Intn(8))))
+		}
+	}
+}
+
+// YAGOConfig scales the YAGO-like generator.
+type YAGOConfig struct {
+	Seed int64
+	// Actors is the number of YAGO actors; those with index <
+	// OverlapWithDBpedia share labels with DBpedia actors of the same
+	// index, enabling cross-graph joins on names.
+	Actors             int
+	OverlapWithDBpedia int
+	Movies             int
+}
+
+// SmallYAGO is a laptop-scale test configuration.
+func SmallYAGO() YAGOConfig {
+	return YAGOConfig{Seed: 2, Actors: 200, OverlapWithDBpedia: 120, Movies: 400}
+}
+
+// BenchYAGO is the configuration used by the benchmark harness.
+func BenchYAGO() YAGOConfig {
+	return YAGOConfig{Seed: 2, Actors: 1200, OverlapWithDBpedia: 700, Movies: 3000}
+}
+
+// YAGO generates the YAGO-like graph.
+func YAGO(cfg YAGOConfig) []rdf.Triple {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := rdf.CommonPrefixes()
+	p.Merge(rdf.NewPrefixMap(YAGOPrefixes()))
+	res := func(local string) rdf.Term {
+		return rdf.NewIRI("http://yago-knowledge.org/resource/" + local)
+	}
+	var triples []rdf.Triple
+	add := func(s rdf.Term, pred string, o rdf.Term) {
+		triples = append(triples, rdf.Triple{S: s, P: rdf.NewIRI(p.MustExpand(pred)), O: o})
+	}
+	typePred := rdf.NewIRI(rdf.RDFType)
+	for a := 0; a < cfg.Actors; a++ {
+		actor := res(fmt.Sprintf("yactor%d", a))
+		triples = append(triples, rdf.Triple{S: actor, P: typePred, O: res("Actor")})
+		label := fmt.Sprintf("Actor %d", a)
+		if a >= cfg.OverlapWithDBpedia {
+			label = fmt.Sprintf("YAGO Actor %d", a)
+		}
+		add(actor, "rdfs:label", rdf.NewLiteral(label))
+		add(actor, "yago:isCitizenOf", res(countries[rng.Intn(len(countries))]))
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			add(actor, "yago:actedIn", res(fmt.Sprintf("ymovie%d", rng.Intn(max(cfg.Movies, 1)))))
+		}
+	}
+	return triples
+}
+
+// DBLPConfig scales the DBLP-like generator.
+type DBLPConfig struct {
+	Seed    int64
+	Authors int
+	Papers  int
+}
+
+// SmallDBLP is a laptop-scale test configuration.
+func SmallDBLP() DBLPConfig { return DBLPConfig{Seed: 3, Authors: 200, Papers: 1500} }
+
+// BenchDBLP is the configuration used by the benchmark harness.
+func BenchDBLP() DBLPConfig { return DBLPConfig{Seed: 3, Authors: 1200, Papers: 12000} }
+
+// research communities with distinct vocabularies, giving the topic
+// modeling case study real signal to recover.
+var communities = [][]string{
+	{"query", "optimization", "transaction", "index", "storage", "database", "join", "sql"},
+	{"learning", "neural", "embedding", "training", "model", "gradient", "classifier", "representation"},
+	{"distributed", "consensus", "replication", "fault", "cluster", "latency", "throughput", "scheduling"},
+	{"graph", "knowledge", "sparql", "semantic", "ontology", "entity", "linking", "reasoning"},
+}
+
+var dblpVenues = []string{"vldb", "sigmod", "icde", "kdd", "icml", "nips"}
+
+// DBLP generates the DBLP-like bibliography graph.
+func DBLP(cfg DBLPConfig) []rdf.Triple {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := rdf.CommonPrefixes()
+	p.Merge(rdf.NewPrefixMap(DBLPPrefixes()))
+	var triples []rdf.Triple
+	add := func(s rdf.Term, pred string, o rdf.Term) {
+		triples = append(triples, rdf.Triple{S: s, P: rdf.NewIRI(p.MustExpand(pred)), O: o})
+	}
+	res := func(iri string) rdf.Term { return rdf.NewIRI(iri) }
+
+	// Assign authors to communities; database authors favour VLDB/SIGMOD.
+	authorCommunity := make([]int, cfg.Authors)
+	for a := range authorCommunity {
+		authorCommunity[a] = rng.Intn(len(communities))
+	}
+	// Zipf-skewed productivity so that "thought leaders" exist.
+	zipf := rand.NewZipf(rng, 1.2, 3, uint64(max(cfg.Authors-1, 1)))
+
+	typePred := rdf.NewIRI(rdf.RDFType)
+	inproc := res(p.MustExpand("swrc:InProceedings"))
+	for i := 0; i < cfg.Papers; i++ {
+		paper := res(fmt.Sprintf("http://dblp.l3s.de/rec/conf/%d", i))
+		triples = append(triples, rdf.Triple{S: paper, P: typePred, O: inproc})
+		author := int(zipf.Uint64())
+		comm := authorCommunity[author]
+		add(paper, "dc:creator", res(fmt.Sprintf("http://dblp.l3s.de/author/a%d", author)))
+		// Second author from the same community half the time.
+		if rng.Float64() < 0.5 {
+			other := rng.Intn(cfg.Authors)
+			if authorCommunity[other] == comm {
+				add(paper, "dc:creator", res(fmt.Sprintf("http://dblp.l3s.de/author/a%d", other)))
+			}
+		}
+		year := 1995 + rng.Intn(26)
+		add(paper, "dcterm:issued", rdf.NewTypedLiteral(fmt.Sprintf("%d-01-01", year), rdf.XSDDate))
+		venue := dblpVenues[rng.Intn(len(dblpVenues))]
+		if comm == 0 && rng.Float64() < 0.75 {
+			venue = []string{"vldb", "sigmod"}[rng.Intn(2)]
+		}
+		add(paper, "swrc:series", res(p.MustExpand("dblprc:"+venue)))
+		add(paper, "dc:title", rdf.NewLiteral(paperTitle(rng, communities[comm], i)))
+	}
+	return triples
+}
+
+func paperTitle(rng *rand.Rand, vocab []string, id int) string {
+	n := 4 + rng.Intn(4)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = vocab[rng.Intn(len(vocab))]
+	}
+	return fmt.Sprintf("%s: paper %d", joinWords(words), id)
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+// LoadAll builds a store holding all three generated graphs.
+func LoadAll(dbp DBpediaConfig, dblp DBLPConfig, yago YAGOConfig) (*store.Store, error) {
+	st := store.New()
+	if err := st.AddAll(DBpediaURI, DBpedia(dbp)); err != nil {
+		return nil, err
+	}
+	if err := st.AddAll(DBLPURI, DBLP(dblp)); err != nil {
+		return nil, err
+	}
+	if err := st.AddAll(YAGOURI, YAGO(yago)); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package datagen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/store"
+)
+
+func countByPredicate(triples []rdf.Triple) map[string]int {
+	out := map[string]int{}
+	for _, t := range triples {
+		out[t.P.Value]++
+	}
+	return out
+}
+
+func TestDBpediaDeterministic(t *testing.T) {
+	cfg := SmallDBpedia()
+	a := DBpedia(cfg)
+	b := DBpedia(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("generation is not deterministic")
+	}
+	cfg.Seed = 99
+	c := DBpedia(cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestDBpediaSchemaCoverage(t *testing.T) {
+	triples := DBpedia(SmallDBpedia())
+	counts := countByPredicate(triples)
+	required := []string{
+		"http://dbpedia.org/property/starring",
+		"http://dbpedia.org/property/birthPlace",
+		"http://dbpedia.org/property/academyAward",
+		"http://dbpedia.org/ontology/genre",
+		"http://dbpedia.org/property/country",
+		"http://dbpedia.org/property/language",
+		"http://dbpedia.org/property/director",
+		"http://dbpedia.org/property/producer",
+		"http://dbpedia.org/property/studio",
+		"http://dbpedia.org/property/story",
+		"http://dbpedia.org/property/runtime",
+		"http://dbpedia.org/property/nationality",
+		"http://dbpedia.org/property/birthDate",
+		"http://dbpedia.org/property/team",
+		"http://dbpedia.org/property/sponsor",
+		"http://dbpedia.org/property/president",
+		"http://dbpedia.org/property/author",
+		"http://dbpedia.org/property/publisher",
+		"http://dbpedia.org/property/education",
+		"http://purl.org/dc/terms/subject",
+		"http://www.w3.org/2000/01/rdf-schema#label",
+		rdf.RDFType,
+	}
+	for _, p := range required {
+		if counts[p] == 0 {
+			t.Errorf("predicate %s missing from generated graph", p)
+		}
+	}
+}
+
+func TestDBpediaOptionalPredicatesAreSparse(t *testing.T) {
+	cfg := SmallDBpedia()
+	triples := DBpedia(cfg)
+	counts := countByPredicate(triples)
+	genre := counts["http://dbpedia.org/ontology/genre"]
+	if genre == 0 || genre >= cfg.Movies {
+		t.Fatalf("genre should be sparse: %d of %d movies", genre, cfg.Movies)
+	}
+	award := counts["http://dbpedia.org/property/academyAward"]
+	if award == 0 || award >= cfg.Actors/2 {
+		t.Fatalf("academyAward should be sparse: %d of %d actors", award, cfg.Actors)
+	}
+}
+
+func TestDBpediaStarringIsSkewed(t *testing.T) {
+	triples := DBpedia(SmallDBpedia())
+	perActor := map[string]int{}
+	for _, tr := range triples {
+		if strings.HasSuffix(tr.P.Value, "/starring") {
+			perActor[tr.O.Value]++
+		}
+	}
+	maxDeg, sum := 0, 0
+	for _, n := range perActor {
+		sum += n
+		if n > maxDeg {
+			maxDeg = n
+		}
+	}
+	avg := float64(sum) / float64(len(perActor))
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("degree distribution not skewed: max=%d avg=%.1f", maxDeg, avg)
+	}
+}
+
+func TestDBLPCommunitiesShapeTitles(t *testing.T) {
+	triples := DBLP(SmallDBLP())
+	dbWords, mlWords := 0, 0
+	for _, tr := range triples {
+		if strings.HasSuffix(tr.P.Value, "elements/1.1/title") {
+			title := tr.O.Value
+			if strings.Contains(title, "transaction") || strings.Contains(title, "sql") {
+				dbWords++
+			}
+			if strings.Contains(title, "neural") || strings.Contains(title, "gradient") {
+				mlWords++
+			}
+		}
+	}
+	if dbWords == 0 || mlWords == 0 {
+		t.Fatalf("topic vocabularies not present: db=%d ml=%d", dbWords, mlWords)
+	}
+}
+
+func TestDBLPHasProlificVLDBAuthors(t *testing.T) {
+	triples := DBLP(SmallDBLP())
+	venue := map[string]string{}
+	for _, tr := range triples {
+		if strings.HasSuffix(tr.P.Value, "ontology#series") {
+			venue[tr.S.Value] = tr.O.Value
+		}
+	}
+	perAuthor := map[string]int{}
+	for _, tr := range triples {
+		if strings.HasSuffix(tr.P.Value, "elements/1.1/creator") {
+			v := venue[tr.S.Value]
+			if strings.HasSuffix(v, "vldb") || strings.HasSuffix(v, "sigmod") {
+				perAuthor[tr.O.Value]++
+			}
+		}
+	}
+	maxPapers := 0
+	for _, n := range perAuthor {
+		if n > maxPapers {
+			maxPapers = n
+		}
+	}
+	if maxPapers < 10 {
+		t.Fatalf("no prolific VLDB/SIGMOD author: max=%d", maxPapers)
+	}
+}
+
+func TestYAGOOverlapWithDBpedia(t *testing.T) {
+	cfg := SmallYAGO()
+	triples := YAGO(cfg)
+	shared, yagoOnly := 0, 0
+	for _, tr := range triples {
+		if strings.HasSuffix(tr.P.Value, "rdf-schema#label") {
+			if strings.HasPrefix(tr.O.Value, "Actor ") {
+				shared++
+			} else {
+				yagoOnly++
+			}
+		}
+	}
+	if shared != cfg.OverlapWithDBpedia {
+		t.Fatalf("shared labels = %d, want %d", shared, cfg.OverlapWithDBpedia)
+	}
+	if yagoOnly != cfg.Actors-cfg.OverlapWithDBpedia {
+		t.Fatalf("yago-only labels = %d", yagoOnly)
+	}
+}
+
+func TestAllTriplesValid(t *testing.T) {
+	for name, triples := range map[string][]rdf.Triple{
+		"dbpedia": DBpedia(SmallDBpedia()),
+		"dblp":    DBLP(SmallDBLP()),
+		"yago":    YAGO(SmallYAGO()),
+	} {
+		for i, tr := range triples {
+			if !tr.Valid() {
+				t.Fatalf("%s: invalid triple %d: %v", name, i, tr)
+			}
+		}
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	st, err := LoadAll(SmallDBpedia(), SmallDBLP(), SmallYAGO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, uri := range []string{DBpediaURI, DBLPURI, YAGOURI} {
+		g := st.Graph(uri)
+		if g == nil || g.Len() == 0 {
+			t.Fatalf("graph %s empty", uri)
+		}
+	}
+	var _ *store.Store = st
+}

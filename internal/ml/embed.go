@@ -1,0 +1,159 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TripleID is a dictionary-encoded (subject, relation, object) fact for
+// embedding training.
+type TripleID struct {
+	S, R, O int
+}
+
+// EmbeddingConfig parameterizes TransE training.
+type EmbeddingConfig struct {
+	Dim    int     // embedding dimensionality
+	Epochs int     // passes over the training triples
+	LR     float64 // SGD learning rate
+	Margin float64 // hinge margin between positive and corrupted triples
+	Seed   int64
+}
+
+// DefaultEmbeddingConfig is a small but functional configuration.
+func DefaultEmbeddingConfig() EmbeddingConfig {
+	return EmbeddingConfig{Dim: 32, Epochs: 50, LR: 0.05, Margin: 1.0, Seed: 7}
+}
+
+// TransE is a translation-based knowledge graph embedding model
+// (score(s,r,o) = -||e_s + e_r - e_o||), the family of models the KG
+// embedding case study prepares data for.
+type TransE struct {
+	Entities  [][]float64
+	Relations [][]float64
+	nEnt      int
+}
+
+// TrainTransE fits entity and relation embeddings on the triples with
+// margin-based ranking loss and uniform negative sampling.
+func TrainTransE(triples []TripleID, nEntities, nRelations int, cfg EmbeddingConfig) (*TransE, error) {
+	if len(triples) == 0 || nEntities == 0 || nRelations == 0 {
+		return nil, fmt.Errorf("ml: empty embedding training input")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &TransE{
+		Entities:  randomMatrix(rng, nEntities, cfg.Dim),
+		Relations: randomMatrix(rng, nRelations, cfg.Dim),
+		nEnt:      nEntities,
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, t := range triples {
+			neg := t
+			if rng.Intn(2) == 0 {
+				neg.S = rng.Intn(nEntities)
+			} else {
+				neg.O = rng.Intn(nEntities)
+			}
+			m.sgdStep(t, neg, cfg)
+		}
+		for i := range m.Entities {
+			normalize(m.Entities[i])
+		}
+	}
+	return m, nil
+}
+
+// Score returns the TransE plausibility of a triple (higher is better).
+func (m *TransE) Score(t TripleID) float64 {
+	s, r, o := m.Entities[t.S], m.Relations[t.R], m.Entities[t.O]
+	d := 0.0
+	for j := range s {
+		diff := s[j] + r[j] - o[j]
+		d += diff * diff
+	}
+	return -math.Sqrt(d)
+}
+
+func (m *TransE) sgdStep(pos, neg TripleID, cfg EmbeddingConfig) {
+	// Hinge loss: max(0, margin + d(pos) - d(neg)), d = squared distance.
+	if cfg.Margin-m.Score(pos)+m.Score(neg) <= 0 {
+		return
+	}
+	update := func(t TripleID, sign float64) {
+		s, r, o := m.Entities[t.S], m.Relations[t.R], m.Entities[t.O]
+		for j := range s {
+			g := 2 * (s[j] + r[j] - o[j]) * sign * cfg.LR
+			s[j] -= g
+			r[j] -= g
+			o[j] += g
+		}
+	}
+	update(pos, 1)
+	update(neg, -1)
+}
+
+// RankMetrics summarizes link prediction quality.
+type RankMetrics struct {
+	MRR    float64
+	HitsAt map[int]float64
+}
+
+// EvaluateRanking computes filtered mean reciprocal rank and Hits@{1,3,10}
+// over the test triples by corrupting the object position.
+func (m *TransE) EvaluateRanking(test []TripleID, known map[TripleID]bool) RankMetrics {
+	hits := map[int]int{1: 0, 3: 0, 10: 0}
+	mrr := 0.0
+	for _, t := range test {
+		score := m.Score(t)
+		rank := 1
+		for o := 0; o < m.nEnt; o++ {
+			if o == t.O {
+				continue
+			}
+			cand := TripleID{S: t.S, R: t.R, O: o}
+			if known[cand] {
+				continue // filtered setting
+			}
+			if m.Score(cand) > score {
+				rank++
+			}
+		}
+		mrr += 1 / float64(rank)
+		for k := range hits {
+			if rank <= k {
+				hits[k]++
+			}
+		}
+	}
+	n := float64(len(test))
+	out := RankMetrics{MRR: mrr / n, HitsAt: map[int]float64{}}
+	for k, h := range hits {
+		out.HitsAt[k] = float64(h) / n
+	}
+	return out
+}
+
+func randomMatrix(rng *rand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	bound := 6 / math.Sqrt(float64(dim))
+	for i := range out {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = (rng.Float64()*2 - 1) * bound
+		}
+		normalize(row)
+		out[i] = row
+	}
+	return out
+}
+
+func normalize(v []float64) {
+	n := math.Sqrt(dot(v, v))
+	if n < 1e-12 {
+		return
+	}
+	for j := range v {
+		v[j] /= n
+	}
+}

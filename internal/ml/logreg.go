@@ -1,0 +1,92 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LogisticRegression is a one-vs-rest multinomial classifier trained with
+// SGD, the classifier the movie genre classification case study trains on
+// its extracted dataframe.
+type LogisticRegression struct {
+	Classes []string
+	weights [][]float64 // per class, length = features + 1 (bias last)
+}
+
+// TrainLogReg fits a classifier on rows x with string labels y.
+func TrainLogReg(x [][]float64, y []string, epochs int, lr float64, seed int64) (*LogisticRegression, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("ml: bad training data: %d rows, %d labels", len(x), len(y))
+	}
+	classIdx := map[string]int{}
+	var classes []string
+	for _, label := range y {
+		if _, ok := classIdx[label]; !ok {
+			classIdx[label] = len(classes)
+			classes = append(classes, label)
+		}
+	}
+	nf := len(x[0])
+	m := &LogisticRegression{Classes: classes, weights: make([][]float64, len(classes))}
+	for c := range m.weights {
+		m.weights[c] = make([]float64, nf+1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(x))
+	for epoch := 0; epoch < epochs; epoch++ {
+		for _, i := range order {
+			row, label := x[i], classIdx[y[i]]
+			for c := range m.weights {
+				target := 0.0
+				if c == label {
+					target = 1.0
+				}
+				p := sigmoid(m.score(c, row))
+				g := p - target
+				w := m.weights[c]
+				for j, xj := range row {
+					w[j] -= lr * g * xj
+				}
+				w[nf] -= lr * g // bias
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *LogisticRegression) score(c int, row []float64) float64 {
+	w := m.weights[c]
+	s := w[len(w)-1]
+	for j, xj := range row {
+		s += w[j] * xj
+	}
+	return s
+}
+
+// Predict returns the most likely class for the row.
+func (m *LogisticRegression) Predict(row []float64) string {
+	best, bestScore := 0, math.Inf(-1)
+	for c := range m.weights {
+		if s := m.score(c, row); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return m.Classes[best]
+}
+
+// Accuracy scores the classifier on a labelled set.
+func (m *LogisticRegression) Accuracy(x [][]float64, y []string) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range x {
+		if m.Predict(row) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }

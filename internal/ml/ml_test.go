@@ -1,0 +1,243 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The Query-Optimization of SQL, via Neural Models!")
+	want := []string{"query", "optimization", "sql", "neural", "models"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTFIDFBasics(t *testing.T) {
+	docs := [][]string{
+		{"query", "database", "index"},
+		{"query", "neural", "training"},
+		{"neural", "training", "gradient"},
+	}
+	tf := FitTFIDF(docs, 0)
+	if len(tf.Vocab) != 6 {
+		t.Fatalf("vocab = %v", tf.Vocab)
+	}
+	x := tf.Transform(docs)
+	for i, row := range x {
+		norm := 0.0
+		for _, v := range row {
+			norm += v * v
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("row %d not normalized: %v", i, norm)
+		}
+	}
+	// "database" appears once → higher idf weight than "query" within doc 0.
+	db, q := tf.Index["database"], tf.Index["query"]
+	if x[0][db] <= x[0][q] {
+		t.Fatalf("idf weighting wrong: database=%v query=%v", x[0][db], x[0][q])
+	}
+}
+
+func TestTFIDFMaxFeatures(t *testing.T) {
+	docs := [][]string{{"a1", "b2", "c3"}, {"a1", "b2"}, {"a1"}}
+	// Tokenize not used here; terms are already tokens.
+	tf := FitTFIDF(docs, 2)
+	if len(tf.Vocab) != 2 {
+		t.Fatalf("vocab = %v, want 2 terms", tf.Vocab)
+	}
+	if _, ok := tf.Index["a1"]; !ok {
+		t.Fatal("most frequent term dropped")
+	}
+}
+
+// TestSVDRecoversTopics plants two disjoint topics and checks that the top
+// components separate them.
+func TestSVDRecoversTopics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	topicA := []string{"query", "database", "transaction", "index"}
+	topicB := []string{"neural", "gradient", "training", "embedding"}
+	var docs [][]string
+	for i := 0; i < 60; i++ {
+		vocab := topicA
+		if i%2 == 1 {
+			vocab = topicB
+		}
+		doc := make([]string, 6)
+		for j := range doc {
+			doc[j] = vocab[rng.Intn(len(vocab))]
+		}
+		docs = append(docs, doc)
+	}
+	tf := FitTFIDF(docs, 0)
+	x := tf.Transform(docs)
+	svd := TruncatedSVD(x, 2, 30, 1)
+	if len(svd.Components) != 2 {
+		t.Fatalf("components = %d", len(svd.Components))
+	}
+	// Each planted topic should dominate some component's top terms.
+	foundA, foundB := false, false
+	for c := 0; c < 2; c++ {
+		top := svd.TopTerms(tf.Vocab, c, 4)
+		a, b := 0, 0
+		for _, w := range top {
+			for _, aw := range topicA {
+				if w == aw {
+					a++
+				}
+			}
+			for _, bw := range topicB {
+				if w == bw {
+					b++
+				}
+			}
+		}
+		if a >= 3 {
+			foundA = true
+		}
+		if b >= 3 {
+			foundB = true
+		}
+	}
+	if !foundA || !foundB {
+		t.Fatalf("topics not separated: comp0=%v comp1=%v",
+			svd.TopTerms(tf.Vocab, 0, 4), svd.TopTerms(tf.Vocab, 1, 4))
+	}
+}
+
+func TestSVDSingularValuesOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([][]float64, 40)
+	for i := range x {
+		x[i] = make([]float64, 10)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	svd := TruncatedSVD(x, 4, 40, 1)
+	for i := 1; i < len(svd.Singular); i++ {
+		if svd.Singular[i] > svd.Singular[i-1]+1e-9 {
+			t.Fatalf("singular values not sorted: %v", svd.Singular)
+		}
+	}
+}
+
+func TestSVDEmptyInput(t *testing.T) {
+	if r := TruncatedSVD(nil, 3, 10, 1); len(r.Components) != 0 {
+		t.Fatal("empty input should yield empty result")
+	}
+}
+
+func TestLogRegLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var x [][]float64
+	var y []string
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			x = append(x, []float64{rng.Float64() + 2, rng.Float64()})
+			y = append(y, "pos")
+		} else {
+			x = append(x, []float64{rng.Float64() - 3, rng.Float64()})
+			y = append(y, "neg")
+		}
+	}
+	m, err := TrainLogReg(x, y, 20, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.95 {
+		t.Fatalf("accuracy = %.2f on separable data", acc)
+	}
+}
+
+func TestLogRegMulticlass(t *testing.T) {
+	var x [][]float64
+	var y []string
+	centers := map[string][2]float64{"a": {5, 0}, "b": {-5, 0}, "c": {0, 5}}
+	rng := rand.New(rand.NewSource(2))
+	for label, c := range centers {
+		for i := 0; i < 50; i++ {
+			x = append(x, []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+			y = append(y, label)
+		}
+	}
+	m, err := TrainLogReg(x, y, 30, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.9 {
+		t.Fatalf("multiclass accuracy = %.2f", acc)
+	}
+}
+
+func TestLogRegRejectsBadInput(t *testing.T) {
+	if _, err := TrainLogReg(nil, nil, 1, 0.1, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := TrainLogReg([][]float64{{1}}, []string{"a", "b"}, 1, 0.1, 1); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}
+
+// TestTransEBeatsRandom trains on a structured graph and checks the model
+// ranks held-out true triples better than chance.
+func TestTransEBeatsRandom(t *testing.T) {
+	// Entities 0..19; relation 0 connects i -> i+1 mod 20 (a cycle), so
+	// structure is perfectly learnable.
+	var triples []TripleID
+	for i := 0; i < 20; i++ {
+		triples = append(triples, TripleID{S: i, R: 0, O: (i + 1) % 20})
+	}
+	train, test := triples[:16], triples[16:]
+	known := map[TripleID]bool{}
+	for _, tr := range triples {
+		known[tr] = true
+	}
+	cfg := DefaultEmbeddingConfig()
+	cfg.Epochs = 600
+	m, err := TrainTransE(train, 20, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := m.EvaluateRanking(test, known)
+	// Random ranking over 20 entities would give MRR around 0.18.
+	if metrics.MRR < 0.3 {
+		t.Fatalf("MRR = %.3f, model failed to learn cycle structure", metrics.MRR)
+	}
+	if metrics.HitsAt[10] < 0.5 {
+		t.Fatalf("Hits@10 = %.2f", metrics.HitsAt[10])
+	}
+}
+
+func TestTransEScoreHigherForTrueTriples(t *testing.T) {
+	var triples []TripleID
+	for i := 0; i < 10; i++ {
+		triples = append(triples, TripleID{S: i, R: 0, O: (i + 1) % 10})
+	}
+	cfg := DefaultEmbeddingConfig()
+	cfg.Epochs = 300
+	m, err := TrainTransE(triples, 10, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	better := 0
+	for i := 0; i < 10; i++ {
+		pos := m.Score(TripleID{S: i, R: 0, O: (i + 1) % 10})
+		neg := m.Score(TripleID{S: i, R: 0, O: (i + 5) % 10})
+		if pos > neg {
+			better++
+		}
+	}
+	if better < 8 {
+		t.Fatalf("true triples outscored corrupted only %d/10 times", better)
+	}
+}
+
+func TestTransERejectsEmpty(t *testing.T) {
+	if _, err := TrainTransE(nil, 0, 0, DefaultEmbeddingConfig()); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SVDResult holds the top-k right singular vectors (components) of a
+// document-term matrix: Components[c][j] is the weight of vocabulary term j
+// in component c.
+type SVDResult struct {
+	Components [][]float64
+	Singular   []float64
+}
+
+// TruncatedSVD computes the top-k components of X (rows = documents) by
+// orthogonal (subspace) power iteration on XᵀX, the same reduction
+// scikit-learn's randomized TruncatedSVD performs for topic modeling.
+func TruncatedSVD(x [][]float64, k, iters int, seed int64) *SVDResult {
+	if len(x) == 0 || len(x[0]) == 0 {
+		return &SVDResult{}
+	}
+	d := len(x[0])
+	if k > d {
+		k = d
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Random start, orthonormalized.
+	v := make([][]float64, k)
+	for c := range v {
+		v[c] = make([]float64, d)
+		for j := range v[c] {
+			v[c][j] = rng.NormFloat64()
+		}
+	}
+	gramSchmidt(v)
+	for it := 0; it < iters; it++ {
+		// w_c = Xᵀ (X v_c)
+		for c := range v {
+			v[c] = multXtXv(x, v[c])
+		}
+		gramSchmidt(v)
+	}
+	// Rayleigh quotients give singular values.
+	res := &SVDResult{Components: v, Singular: make([]float64, k)}
+	for c := range v {
+		w := multXtXv(x, v[c])
+		res.Singular[c] = math.Sqrt(math.Abs(dot(w, v[c])))
+	}
+	// Order components by singular value, largest first.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return res.Singular[order[a]] > res.Singular[order[b]] })
+	comps := make([][]float64, k)
+	sing := make([]float64, k)
+	for i, o := range order {
+		comps[i] = res.Components[o]
+		sing[i] = res.Singular[o]
+	}
+	res.Components, res.Singular = comps, sing
+	return res
+}
+
+// TopTerms returns the n highest-weighted vocabulary terms of component c.
+func (r *SVDResult) TopTerms(vocab []string, c, n int) []string {
+	if c >= len(r.Components) {
+		return nil
+	}
+	comp := r.Components[c]
+	idx := make([]int, len(comp))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(comp[idx[a]]) > math.Abs(comp[idx[b]])
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = vocab[idx[i]]
+	}
+	return out
+}
+
+func multXtXv(x [][]float64, v []float64) []float64 {
+	// y = X v (length rows), then w = Xᵀ y (length cols).
+	rows, cols := len(x), len(v)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		y[i] = dot(x[i], v)
+	}
+	w := make([]float64, cols)
+	for i := 0; i < rows; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		for j, xij := range x[i] {
+			w[j] += xij * yi
+		}
+	}
+	return w
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// gramSchmidt orthonormalizes the vectors in place.
+func gramSchmidt(v [][]float64) {
+	for c := range v {
+		for p := 0; p < c; p++ {
+			proj := dot(v[c], v[p])
+			for j := range v[c] {
+				v[c][j] -= proj * v[p][j]
+			}
+		}
+		norm := math.Sqrt(dot(v[c], v[c]))
+		if norm < 1e-12 {
+			continue
+		}
+		for j := range v[c] {
+			v[c][j] /= norm
+		}
+	}
+}

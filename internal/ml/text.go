@@ -1,0 +1,111 @@
+// Package ml provides the small machine learning components the paper's
+// case studies feed their extracted dataframes into: TF-IDF vectorization
+// with truncated SVD for topic modeling, logistic regression for genre
+// classification, and TransE-style knowledge graph embeddings with ranking
+// evaluation. Everything is deterministic given a seed and uses only the
+// standard library.
+package ml
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// stopwords is a compact English stopword list sufficient for paper titles.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true, "in": true,
+	"is": true, "it": true, "its": true, "of": true, "on": true, "or": true,
+	"that": true, "the": true, "to": true, "was": true, "were": true,
+	"will": true, "with": true, "via": true, "using": true, "towards": true,
+}
+
+// Tokenize lowercases, strips non-letters, splits, and removes stopwords
+// and very short tokens.
+func Tokenize(text string) []string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		if r >= 'a' && r <= 'z' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	var out []string
+	for _, w := range strings.Fields(b.String()) {
+		if len(w) >= 3 && !stopwords[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TFIDF is a fitted TF-IDF vectorizer.
+type TFIDF struct {
+	Vocab []string       // term index -> term
+	Index map[string]int // term -> index
+	IDF   []float64
+}
+
+// FitTFIDF builds a vectorizer over the documents, keeping at most
+// maxFeatures terms by document frequency.
+func FitTFIDF(docs [][]string, maxFeatures int) *TFIDF {
+	df := map[string]int{}
+	for _, doc := range docs {
+		seen := map[string]bool{}
+		for _, w := range doc {
+			if !seen[w] {
+				seen[w] = true
+				df[w]++
+			}
+		}
+	}
+	terms := make([]string, 0, len(df))
+	for w := range df {
+		terms = append(terms, w)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if df[terms[i]] != df[terms[j]] {
+			return df[terms[i]] > df[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if maxFeatures > 0 && len(terms) > maxFeatures {
+		terms = terms[:maxFeatures]
+	}
+	sort.Strings(terms)
+	t := &TFIDF{Vocab: terms, Index: make(map[string]int, len(terms)), IDF: make([]float64, len(terms))}
+	n := float64(len(docs))
+	for i, w := range terms {
+		t.Index[w] = i
+		t.IDF[i] = math.Log((1+n)/(1+float64(df[w]))) + 1 // smooth idf
+	}
+	return t
+}
+
+// Transform vectorizes documents into L2-normalized TF-IDF rows.
+func (t *TFIDF) Transform(docs [][]string) [][]float64 {
+	out := make([][]float64, len(docs))
+	for i, doc := range docs {
+		row := make([]float64, len(t.Vocab))
+		for _, w := range doc {
+			if j, ok := t.Index[w]; ok {
+				row[j]++
+			}
+		}
+		norm := 0.0
+		for j := range row {
+			row[j] *= t.IDF[j]
+			norm += row[j] * row[j]
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for j := range row {
+				row[j] /= norm
+			}
+		}
+		out[i] = row
+	}
+	return out
+}

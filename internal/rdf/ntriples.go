@@ -1,0 +1,220 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error in an N-Triples document.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
+}
+
+// NTriplesReader parses an N-Triples document incrementally.
+type NTriplesReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewNTriplesReader returns a reader that parses N-Triples from r.
+func NewNTriplesReader(r io.Reader) *NTriplesReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &NTriplesReader{sc: sc}
+}
+
+// Read returns the next triple, or io.EOF when the document is exhausted.
+func (nr *NTriplesReader) Read() (Triple, error) {
+	for nr.sc.Scan() {
+		nr.line++
+		line := strings.TrimSpace(nr.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return Triple{}, &ParseError{Line: nr.line, Msg: err.Error()}
+		}
+		return t, nil
+	}
+	if err := nr.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll parses every triple in the document.
+func (nr *NTriplesReader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := nr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseTripleLine parses one N-Triples statement (terminated by '.').
+func ParseTripleLine(line string) (Triple, error) {
+	p := &termScanner{s: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	p.skipSpace()
+	if p.i >= len(p.s) || p.s[p.i] != '.' {
+		return Triple{}, fmt.Errorf("missing terminating '.'")
+	}
+	p.i++
+	p.skipSpace()
+	if p.i < len(p.s) && p.s[p.i] != '#' {
+		return Triple{}, fmt.Errorf("trailing content after '.'")
+	}
+	tr := Triple{S: s, P: pr, O: o}
+	if !tr.Valid() {
+		return Triple{}, fmt.Errorf("malformed triple %s", tr)
+	}
+	return tr, nil
+}
+
+// ParseTerm parses a single term in N-Triples syntax.
+func ParseTerm(s string) (Term, error) {
+	p := &termScanner{s: s}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, err
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return Term{}, fmt.Errorf("trailing content after term in %q", s)
+	}
+	return t, nil
+}
+
+type termScanner struct {
+	s string
+	i int
+}
+
+func (p *termScanner) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *termScanner) term() (Term, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return Term{}, fmt.Errorf("unexpected end of statement")
+	}
+	switch p.s[p.i] {
+	case '<':
+		end := strings.IndexByte(p.s[p.i:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		iri := p.s[p.i+1 : p.i+end]
+		p.i += end + 1
+		return NewIRI(iri), nil
+	case '_':
+		if p.i+1 >= len(p.s) || p.s[p.i+1] != ':' {
+			return Term{}, fmt.Errorf("malformed blank node")
+		}
+		j := p.i + 2
+		for j < len(p.s) && isBlankLabelChar(p.s[j]) {
+			j++
+		}
+		if j == p.i+2 {
+			return Term{}, fmt.Errorf("empty blank node label")
+		}
+		label := p.s[p.i+2 : j]
+		p.i = j
+		return NewBlank(label), nil
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.s[p.i])
+	}
+}
+
+func (p *termScanner) literal() (Term, error) {
+	j := p.i + 1
+	for j < len(p.s) {
+		if p.s[j] == '\\' {
+			j += 2
+			continue
+		}
+		if p.s[j] == '"' {
+			break
+		}
+		j++
+	}
+	if j >= len(p.s) {
+		return Term{}, fmt.Errorf("unterminated literal")
+	}
+	lex, err := UnescapeLiteral(p.s[p.i+1 : j])
+	if err != nil {
+		return Term{}, err
+	}
+	p.i = j + 1
+	if p.i < len(p.s) && p.s[p.i] == '@' {
+		k := p.i + 1
+		for k < len(p.s) && isLangChar(p.s[k]) {
+			k++
+		}
+		if k == p.i+1 {
+			return Term{}, fmt.Errorf("empty language tag")
+		}
+		lang := p.s[p.i+1 : k]
+		p.i = k
+		return NewLangLiteral(lex, lang), nil
+	}
+	if strings.HasPrefix(p.s[p.i:], "^^<") {
+		end := strings.IndexByte(p.s[p.i+2:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated datatype IRI")
+		}
+		dt := p.s[p.i+3 : p.i+2+end]
+		p.i += 2 + end + 1
+		return NewTypedLiteral(lex, dt), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func isBlankLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}
+
+func isLangChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+// WriteNTriples serializes triples to w in N-Triples format.
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", t.S, t.P, t.O); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

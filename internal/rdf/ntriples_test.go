@@ -1,0 +1,117 @@
+package rdf
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTripleLine(t *testing.T) {
+	got, err := ParseTripleLine(`<http://s> <http://p> "v"@en . # comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Triple{NewIRI("http://s"), NewIRI("http://p"), NewLangLiteral("v", "en")}
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseTripleLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<http://s> <http://p>",
+		`<http://s> <http://p> "v"`,
+		`<http://s> <http://p> "v" junk`,
+		`"lit" <http://p> <http://o> .`,
+		`<http://s> _:b <http://o> .`,
+		`<http://s> <http://p <http://o> .`,
+		`<http://s> <http://p> "unterminated .`,
+	}
+	for _, line := range bad {
+		if _, err := ParseTripleLine(line); err == nil {
+			t.Errorf("ParseTripleLine(%q) accepted invalid input", line)
+		}
+	}
+}
+
+func TestNTriplesReaderSkipsCommentsAndBlanks(t *testing.T) {
+	doc := "# header\n\n<http://s> <http://p> <http://o> .\n  \n# done\n"
+	got, err := NewNTriplesReader(strings.NewReader(doc)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d triples, want 1", len(got))
+	}
+}
+
+func TestNTriplesReaderReportsLineNumbers(t *testing.T) {
+	doc := "<http://s> <http://p> <http://o> .\nbroken line\n"
+	r := NewNTriplesReader(strings.NewReader(doc))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Read()
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %T %v", err, err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("error line = %d, want 2", pe.Line)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var triples []Triple
+	for i := 0; i < 500; i++ {
+		tr := Triple{
+			S: NewIRI("http://example.org/s" + randWord(r)),
+			P: NewIRI("http://example.org/p" + randWord(r)),
+			O: randomTerm(r),
+		}
+		triples = append(triples, tr)
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewNTriplesReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, triples) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewNTriplesReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestParseBlankNodes(t *testing.T) {
+	tr, err := ParseTripleLine("_:a <http://p> _:b0 .")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.S != NewBlank("a") || tr.O != NewBlank("b0") {
+		t.Fatalf("got %v", tr)
+	}
+}
+
+func TestParseTypedLiteralObject(t *testing.T) {
+	tr, err := ParseTripleLine(`<http://s> <http://p> "12"^^<http://www.w3.org/2001/XMLSchema#integer> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.O != NewInteger(12) {
+		t.Fatalf("got %v", tr.O)
+	}
+}

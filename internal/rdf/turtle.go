@@ -1,0 +1,556 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TurtleReader parses the Turtle subset that public knowledge graph dumps
+// use: @prefix/@base directives (and their SPARQL-style PREFIX/BASE forms),
+// prefixed names, the 'a' keyword, predicate lists with ';', object lists
+// with ',', numeric/boolean literal shorthand, and long (triple-quoted)
+// strings. Blank node property lists and collections are not supported.
+type TurtleReader struct {
+	r        *bufio.Reader
+	prefixes *PrefixMap
+	base     string
+	line     int
+	queue    []Triple
+	subject  Term // current subject for ';' continuation
+	pred     Term // current predicate for ',' continuation
+}
+
+// NewTurtleReader returns a reader parsing Turtle from r.
+func NewTurtleReader(r io.Reader) *TurtleReader {
+	return &TurtleReader{r: bufio.NewReaderSize(r, 64*1024), prefixes: NewPrefixMap(nil), line: 1}
+}
+
+// Prefixes returns the prefix map accumulated from @prefix directives.
+func (tr *TurtleReader) Prefixes() *PrefixMap { return tr.prefixes.Clone() }
+
+func (tr *TurtleReader) errf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d: %s", tr.line, fmt.Sprintf(format, args...))
+}
+
+// Read returns the next triple, or io.EOF at end of input.
+func (tr *TurtleReader) Read() (Triple, error) {
+	for {
+		if len(tr.queue) > 0 {
+			t := tr.queue[0]
+			tr.queue = tr.queue[1:]
+			return t, nil
+		}
+		if err := tr.parseStatement(); err != nil {
+			return Triple{}, err
+		}
+	}
+}
+
+// ReadAll parses the remaining document.
+func (tr *TurtleReader) ReadAll() ([]Triple, error) {
+	var out []Triple
+	for {
+		t, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// parseStatement parses one directive or triple statement into the queue.
+func (tr *TurtleReader) parseStatement() error {
+	if err := tr.skipWS(); err != nil {
+		return err
+	}
+	c, err := tr.peekByte()
+	if err != nil {
+		return err
+	}
+	if c == '@' {
+		return tr.parseDirective()
+	}
+	// SPARQL-style PREFIX/BASE (case-insensitive, no trailing dot).
+	if word, ok := tr.peekWord(); ok {
+		switch strings.ToUpper(word) {
+		case "PREFIX":
+			tr.discard(len(word))
+			return tr.parsePrefixBody(false)
+		case "BASE":
+			tr.discard(len(word))
+			return tr.parseBaseBody(false)
+		}
+	}
+	return tr.parseTriples()
+}
+
+func (tr *TurtleReader) parseDirective() error {
+	tr.discard(1) // '@'
+	word, _ := tr.peekWord()
+	switch strings.ToLower(word) {
+	case "prefix":
+		tr.discard(len(word))
+		return tr.parsePrefixBody(true)
+	case "base":
+		tr.discard(len(word))
+		return tr.parseBaseBody(true)
+	}
+	return tr.errf("unknown directive @%s", word)
+}
+
+func (tr *TurtleReader) parsePrefixBody(dotTerminated bool) error {
+	if err := tr.skipWS(); err != nil {
+		return err
+	}
+	prefix, err := tr.readUntilByte(':')
+	if err != nil {
+		return tr.errf("malformed @prefix")
+	}
+	if err := tr.skipWS(); err != nil {
+		return err
+	}
+	iri, err := tr.readIRIRef()
+	if err != nil {
+		return err
+	}
+	tr.prefixes.Bind(strings.TrimSpace(prefix), tr.resolve(iri))
+	if dotTerminated {
+		return tr.expectDot()
+	}
+	return nil
+}
+
+func (tr *TurtleReader) parseBaseBody(dotTerminated bool) error {
+	if err := tr.skipWS(); err != nil {
+		return err
+	}
+	iri, err := tr.readIRIRef()
+	if err != nil {
+		return err
+	}
+	tr.base = iri
+	if dotTerminated {
+		return tr.expectDot()
+	}
+	return nil
+}
+
+// parseTriples parses "subject predicateObjectList .".
+func (tr *TurtleReader) parseTriples() error {
+	subj, err := tr.readTerm()
+	if err != nil {
+		return err
+	}
+	if subj.Kind != IRIKind && subj.Kind != BlankKind {
+		return tr.errf("subject must be an IRI or blank node, got %s", subj)
+	}
+	tr.subject = subj
+	for {
+		if err := tr.skipWS(); err != nil {
+			return err
+		}
+		pred, err := tr.readVerb()
+		if err != nil {
+			return err
+		}
+		tr.pred = pred
+		for {
+			if err := tr.skipWS(); err != nil {
+				return err
+			}
+			obj, err := tr.readTerm()
+			if err != nil {
+				return err
+			}
+			t := Triple{S: tr.subject, P: tr.pred, O: obj}
+			if !t.Valid() {
+				return tr.errf("malformed triple %s", t)
+			}
+			tr.queue = append(tr.queue, t)
+			if err := tr.skipWS(); err != nil {
+				return err
+			}
+			c, err := tr.peekByte()
+			if err != nil {
+				return err
+			}
+			if c != ',' {
+				break
+			}
+			tr.discard(1)
+		}
+		c, err := tr.peekByte()
+		if err != nil {
+			return err
+		}
+		switch c {
+		case ';':
+			tr.discard(1)
+			// Allow a dangling ';' before '.'.
+			if err := tr.skipWS(); err != nil {
+				return err
+			}
+			if c2, err := tr.peekByte(); err == nil && c2 == '.' {
+				tr.discard(1)
+				return nil
+			}
+			continue
+		case '.':
+			tr.discard(1)
+			return nil
+		}
+		return tr.errf("expected ';' or '.', got %q", c)
+	}
+}
+
+func (tr *TurtleReader) readVerb() (Term, error) {
+	if word, ok := tr.peekWord(); ok && word == "a" {
+		tr.discard(1)
+		return NewIRI(RDFType), nil
+	}
+	t, err := tr.readTerm()
+	if err != nil {
+		return Term{}, err
+	}
+	if t.Kind != IRIKind {
+		return Term{}, tr.errf("predicate must be an IRI, got %s", t)
+	}
+	return t, nil
+}
+
+// readTerm reads an IRI, prefixed name, blank node, or literal.
+func (tr *TurtleReader) readTerm() (Term, error) {
+	if err := tr.skipWS(); err != nil {
+		return Term{}, err
+	}
+	c, err := tr.peekByte()
+	if err != nil {
+		return Term{}, err
+	}
+	switch {
+	case c == '<':
+		iri, err := tr.readIRIRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(tr.resolve(iri)), nil
+	case c == '_':
+		tr.discard(1)
+		if c2, _ := tr.peekByte(); c2 != ':' {
+			return Term{}, tr.errf("malformed blank node")
+		}
+		tr.discard(1)
+		label := tr.readName()
+		if label == "" {
+			return Term{}, tr.errf("empty blank node label")
+		}
+		return NewBlank(label), nil
+	case c == '"':
+		return tr.readLiteral()
+	case c >= '0' && c <= '9' || c == '-' || c == '+':
+		return tr.readNumber()
+	default:
+		// Prefixed name or boolean.
+		word := tr.readName()
+		if word == "true" || word == "false" {
+			return NewBoolean(word == "true"), nil
+		}
+		c2, err := tr.peekByte()
+		if err != nil || c2 != ':' {
+			return Term{}, tr.errf("expected ':' after prefix %q", word)
+		}
+		tr.discard(1)
+		local := tr.readLocal()
+		iri, err := tr.prefixes.Expand(word + ":" + local)
+		if err != nil {
+			return Term{}, tr.errf("%v", err)
+		}
+		return NewIRI(iri), nil
+	}
+}
+
+func (tr *TurtleReader) readLiteral() (Term, error) {
+	lex, err := tr.readString()
+	if err != nil {
+		return Term{}, err
+	}
+	c, err := tr.peekByte()
+	if err == nil && c == '@' {
+		tr.discard(1)
+		lang := tr.readName()
+		for {
+			c2, err := tr.peekByte()
+			if err != nil || c2 != '-' {
+				break
+			}
+			tr.discard(1)
+			lang += "-" + tr.readName()
+		}
+		return NewLangLiteral(lex, lang), nil
+	}
+	if err == nil && c == '^' {
+		tr.discard(1)
+		if c2, _ := tr.peekByte(); c2 != '^' {
+			return Term{}, tr.errf("malformed datatype suffix")
+		}
+		tr.discard(1)
+		dt, err := tr.readTerm()
+		if err != nil {
+			return Term{}, err
+		}
+		if dt.Kind != IRIKind {
+			return Term{}, tr.errf("datatype must be an IRI")
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+// readString reads a short or long (triple-quoted) string.
+func (tr *TurtleReader) readString() (string, error) {
+	tr.discard(1) // opening '"'
+	// Long string?
+	if tr.hasPrefix(`""`) {
+		tr.discard(2)
+		var sb strings.Builder
+		for {
+			c, err := tr.readByte()
+			if err != nil {
+				return "", tr.errf("unterminated long string")
+			}
+			if c == '"' && tr.hasPrefix(`""`) {
+				tr.discard(2)
+				return sb.String(), nil
+			}
+			if c == '\n' {
+				tr.line++
+			}
+			sb.WriteByte(c)
+		}
+	}
+	var raw strings.Builder
+	for {
+		c, err := tr.readByte()
+		if err != nil {
+			return "", tr.errf("unterminated string")
+		}
+		switch c {
+		case '\\':
+			c2, err := tr.readByte()
+			if err != nil {
+				return "", tr.errf("dangling escape")
+			}
+			raw.WriteByte('\\')
+			raw.WriteByte(c2)
+		case '"':
+			return UnescapeLiteral(raw.String())
+		case '\n':
+			return "", tr.errf("newline in short string")
+		default:
+			raw.WriteByte(c)
+		}
+	}
+}
+
+func (tr *TurtleReader) readNumber() (Term, error) {
+	var sb strings.Builder
+	dots := 0
+	for {
+		c, err := tr.peekByte()
+		if err != nil {
+			break
+		}
+		if c >= '0' && c <= '9' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			sb.WriteByte(c)
+			tr.discard(1)
+			continue
+		}
+		if c == '.' {
+			// A trailing dot is the statement terminator.
+			rest, _ := tr.r.Peek(2)
+			if len(rest) == 2 && (rest[1] < '0' || rest[1] > '9') {
+				break
+			}
+			dots++
+			sb.WriteByte(c)
+			tr.discard(1)
+			continue
+		}
+		break
+	}
+	s := sb.String()
+	if _, err := strconv.ParseFloat(s, 64); err != nil {
+		return Term{}, tr.errf("malformed number %q", s)
+	}
+	if dots > 0 || strings.ContainsAny(s, "eE") {
+		if strings.ContainsAny(s, "eE") {
+			return NewTypedLiteral(s, XSDDouble), nil
+		}
+		return NewTypedLiteral(s, XSDDecimal), nil
+	}
+	return NewTypedLiteral(s, XSDInteger), nil
+}
+
+func (tr *TurtleReader) resolve(iri string) string {
+	if tr.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		return tr.base + iri
+	}
+	return iri
+}
+
+// --- low-level scanning helpers ---
+
+func (tr *TurtleReader) peekByte() (byte, error) {
+	b, err := tr.r.Peek(1)
+	if err != nil {
+		return 0, io.EOF
+	}
+	return b[0], nil
+}
+
+func (tr *TurtleReader) readByte() (byte, error) {
+	c, err := tr.r.ReadByte()
+	if err != nil {
+		return 0, io.EOF
+	}
+	return c, nil
+}
+
+func (tr *TurtleReader) discard(n int) { tr.r.Discard(n) }
+
+func (tr *TurtleReader) hasPrefix(s string) bool {
+	b, err := tr.r.Peek(len(s))
+	return err == nil && string(b) == s
+}
+
+// skipWS skips whitespace and comments; io.EOF surfaces to the caller.
+func (tr *TurtleReader) skipWS() error {
+	for {
+		c, err := tr.peekByte()
+		if err != nil {
+			return io.EOF
+		}
+		switch c {
+		case '\n':
+			tr.line++
+			tr.discard(1)
+		case ' ', '\t', '\r':
+			tr.discard(1)
+		case '#':
+			for {
+				c2, err := tr.readByte()
+				if err != nil {
+					return io.EOF
+				}
+				if c2 == '\n' {
+					tr.line++
+					break
+				}
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// peekWord peeks the next bare word without consuming it.
+func (tr *TurtleReader) peekWord() (string, bool) {
+	for n := 16; ; n *= 2 {
+		b, _ := tr.r.Peek(n)
+		i := 0
+		for i < len(b) && (b[i] >= 'a' && b[i] <= 'z' || b[i] >= 'A' && b[i] <= 'Z') {
+			i++
+		}
+		if i == 0 {
+			return "", false
+		}
+		if i < len(b) || len(b) < n {
+			return string(b[:i]), true
+		}
+	}
+}
+
+func (tr *TurtleReader) readName() string {
+	var sb strings.Builder
+	for {
+		c, err := tr.peekByte()
+		if err != nil {
+			break
+		}
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			sb.WriteByte(c)
+			tr.discard(1)
+			continue
+		}
+		break
+	}
+	return sb.String()
+}
+
+// readLocal reads a prefixed-name local part ('.' only when followed by
+// another local character).
+func (tr *TurtleReader) readLocal() string {
+	var sb strings.Builder
+	for {
+		c, err := tr.peekByte()
+		if err != nil {
+			break
+		}
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			sb.WriteByte(c)
+			tr.discard(1)
+			continue
+		}
+		if c == '.' {
+			b, _ := tr.r.Peek(2)
+			if len(b) == 2 && (isBlankLabelChar(b[1]) && b[1] != '.') {
+				sb.WriteByte(c)
+				tr.discard(1)
+				continue
+			}
+		}
+		break
+	}
+	return sb.String()
+}
+
+func (tr *TurtleReader) readUntilByte(stop byte) (string, error) {
+	var sb strings.Builder
+	for {
+		c, err := tr.readByte()
+		if err != nil {
+			return "", io.EOF
+		}
+		if c == stop {
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+	}
+}
+
+func (tr *TurtleReader) readIRIRef() (string, error) {
+	c, err := tr.peekByte()
+	if err != nil || c != '<' {
+		return "", tr.errf("expected IRI")
+	}
+	tr.discard(1)
+	return tr.readUntilByte('>')
+}
+
+func (tr *TurtleReader) expectDot() error {
+	if err := tr.skipWS(); err != nil {
+		return err
+	}
+	c, err := tr.peekByte()
+	if err != nil || c != '.' {
+		return tr.errf("expected '.' after directive")
+	}
+	tr.discard(1)
+	return nil
+}

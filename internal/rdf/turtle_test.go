@@ -1,0 +1,211 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseTurtle(t *testing.T, doc string) []Triple {
+	t.Helper()
+	triples, err := NewTurtleReader(strings.NewReader(doc)).ReadAll()
+	if err != nil {
+		t.Fatalf("parse error: %v\nin:\n%s", err, doc)
+	}
+	return triples
+}
+
+func TestTurtleBasicTriple(t *testing.T) {
+	got := parseTurtle(t, `<http://ex/s> <http://ex/p> <http://ex/o> .`)
+	want := Triple{NewIRI("http://ex/s"), NewIRI("http://ex/p"), NewIRI("http://ex/o")}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTurtlePrefixesAndA(t *testing.T) {
+	got := parseTurtle(t, `
+@prefix dbpr: <http://dbpedia.org/resource/> .
+@prefix dbpp: <http://dbpedia.org/property/> .
+dbpr:Alice a dbpr:Actor ;
+           dbpp:birthPlace dbpr:United_States .
+`)
+	if len(got) != 2 {
+		t.Fatalf("got %d triples", len(got))
+	}
+	if got[0].P.Value != RDFType {
+		t.Fatalf("'a' not expanded: %v", got[0].P)
+	}
+	if got[1].O != NewIRI("http://dbpedia.org/resource/United_States") {
+		t.Fatalf("prefixed name wrong: %v", got[1].O)
+	}
+}
+
+func TestTurtleSPARQLStylePrefix(t *testing.T) {
+	got := parseTurtle(t, `
+PREFIX ex: <http://ex/>
+ex:s ex:p ex:o .
+`)
+	if len(got) != 1 || got[0].S != NewIRI("http://ex/s") {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTurtlePredicateAndObjectLists(t *testing.T) {
+	got := parseTurtle(t, `
+@prefix ex: <http://ex/> .
+ex:m ex:starring ex:a1 , ex:a2 ;
+     ex:title "Movie" .
+`)
+	if len(got) != 3 {
+		t.Fatalf("got %d triples, want 3", len(got))
+	}
+	if got[0].S != got[2].S {
+		t.Fatal("subject not carried through ';'")
+	}
+	if got[0].P != got[1].P {
+		t.Fatal("predicate not carried through ','")
+	}
+}
+
+func TestTurtleLiteralForms(t *testing.T) {
+	got := parseTurtle(t, `
+@prefix ex: <http://ex/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:s ex:plain "hello" ;
+     ex:lang "hallo"@de ;
+     ex:typed "5"^^xsd:integer ;
+     ex:int 42 ;
+     ex:dec 2.5 ;
+     ex:dbl 1e3 ;
+     ex:neg -7 ;
+     ex:bool true .
+`)
+	objs := map[string]Term{}
+	for _, tr := range got {
+		objs[tr.P.Value] = tr.O
+	}
+	cases := map[string]Term{
+		"http://ex/plain": NewLiteral("hello"),
+		"http://ex/lang":  NewLangLiteral("hallo", "de"),
+		"http://ex/typed": NewInteger(5),
+		"http://ex/int":   NewInteger(42),
+		"http://ex/dec":   NewTypedLiteral("2.5", XSDDecimal),
+		"http://ex/dbl":   NewTypedLiteral("1e3", XSDDouble),
+		"http://ex/neg":   NewInteger(-7),
+		"http://ex/bool":  NewBoolean(true),
+	}
+	for p, want := range cases {
+		if objs[p] != want {
+			t.Errorf("%s = %v, want %v", p, objs[p], want)
+		}
+	}
+}
+
+func TestTurtleLongString(t *testing.T) {
+	got := parseTurtle(t, `<http://ex/s> <http://ex/p> """line one
+line two""" .`)
+	if got[0].O.Value != "line one\nline two" {
+		t.Fatalf("long string = %q", got[0].O.Value)
+	}
+}
+
+func TestTurtleEscapes(t *testing.T) {
+	got := parseTurtle(t, `<http://ex/s> <http://ex/p> "a\"b\nc" .`)
+	if got[0].O.Value != "a\"b\nc" {
+		t.Fatalf("escaped string = %q", got[0].O.Value)
+	}
+}
+
+func TestTurtleBase(t *testing.T) {
+	got := parseTurtle(t, `
+@base <http://ex.org/> .
+<s> <p> <o> .
+`)
+	if got[0].S != NewIRI("http://ex.org/s") {
+		t.Fatalf("base not applied: %v", got[0].S)
+	}
+}
+
+func TestTurtleBlankNodes(t *testing.T) {
+	got := parseTurtle(t, `_:a <http://ex/p> _:b .`)
+	if got[0].S != NewBlank("a") || got[0].O != NewBlank("b") {
+		t.Fatalf("got %v", got[0])
+	}
+}
+
+func TestTurtleCommentsAndWhitespace(t *testing.T) {
+	got := parseTurtle(t, `
+# a comment
+<http://ex/s> <http://ex/p> "v" . # trailing comment
+# another
+`)
+	if len(got) != 1 {
+		t.Fatalf("got %d triples", len(got))
+	}
+}
+
+func TestTurtleNumericLocalNameDot(t *testing.T) {
+	// The trailing '.' after a pname must terminate the statement, not be
+	// swallowed into the local name.
+	got := parseTurtle(t, `
+@prefix ex: <http://ex/> .
+ex:s ex:p ex:v1.2 .
+`)
+	if len(got) != 1 || got[0].O != NewIRI("http://ex/v1.2") {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTurtleErrors(t *testing.T) {
+	bad := []string{
+		`<http://ex/s> <http://ex/p> .`,            // missing object
+		`"lit" <http://ex/p> <http://ex/o> .`,      // literal subject
+		`<http://ex/s> "lit" <http://ex/o> .`,      // literal predicate
+		`@prefix ex <http://ex/> .`,                // missing colon
+		`@unknown thing .`,                         // unknown directive
+		`<http://ex/s> <http://ex/p> nope:local .`, // unbound prefix
+		`<http://ex/s> <http://ex/p> "unterminated`,
+	}
+	for _, doc := range bad {
+		if _, err := NewTurtleReader(strings.NewReader(doc)).ReadAll(); err == nil {
+			t.Errorf("accepted invalid turtle: %s", doc)
+		}
+	}
+}
+
+func TestTurtleRoundTripThroughNTriples(t *testing.T) {
+	doc := `
+@prefix ex: <http://ex/> .
+ex:m a ex:Film ; ex:starring ex:a1 , ex:a2 ; ex:runtime 120 .
+`
+	fromTurtle := parseTurtle(t, doc)
+	var sb strings.Builder
+	if err := WriteNTriples(&sb, fromTurtle); err != nil {
+		t.Fatal(err)
+	}
+	fromNT, err := NewNTriplesReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromNT) != len(fromTurtle) {
+		t.Fatalf("round trip lost triples: %d vs %d", len(fromNT), len(fromTurtle))
+	}
+	for i := range fromNT {
+		if fromNT[i] != fromTurtle[i] {
+			t.Fatalf("triple %d differs: %v vs %v", i, fromNT[i], fromTurtle[i])
+		}
+	}
+}
+
+func TestTurtlePrefixesExposed(t *testing.T) {
+	r := NewTurtleReader(strings.NewReader(`
+@prefix ex: <http://ex/> .
+ex:s ex:p ex:o .
+`))
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Prefixes().MustExpand("ex:x"); got != "http://ex/x" {
+		t.Fatalf("prefixes not exposed: %q", got)
+	}
+}

@@ -1,0 +1,130 @@
+// Package server exposes a SPARQL engine over HTTP following the SPARQL 1.1
+// Protocol: GET/POST /sparql with a "query" parameter, returning results in
+// the SPARQL JSON results format.
+//
+// Like the endpoints the paper targets, the server truncates each response
+// at a configurable row cap (Virtuoso's ResultSetMaxRows), so clients must
+// paginate with LIMIT/OFFSET to retrieve complete results — exactly the
+// behaviour RDFFrames' client handles transparently.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+// Server is a SPARQL protocol endpoint over an engine.
+type Server struct {
+	// Engine evaluates the queries.
+	Engine *sparql.Engine
+	// MaxRows caps the number of rows per response (0 = unlimited). When a
+	// result is truncated the server sets the X-Truncated header.
+	MaxRows int
+	// Logger, when set, records one line per request.
+	Logger *log.Logger
+}
+
+// New returns a server over the given engine with no row cap.
+func New(engine *sparql.Engine) *Server { return &Server{Engine: engine} }
+
+// Handler returns the HTTP handler implementing the endpoint routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sparql", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var query string
+	switch r.Method {
+	case http.MethodGet:
+		query = r.URL.Query().Get("query")
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if ct == "application/sparql-query" {
+			buf := make([]byte, 0, 4096)
+			tmp := make([]byte, 4096)
+			for {
+				n, err := r.Body.Read(tmp)
+				buf = append(buf, tmp[:n]...)
+				if err != nil {
+					break
+				}
+			}
+			query = string(buf)
+		} else {
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, "malformed form body", http.StatusBadRequest)
+				return
+			}
+			query = r.PostForm.Get("query")
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if query == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+
+	res, err := s.Engine.Query(query)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, sparql.ErrTimeout) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		s.logf("query error (%d) in %v: %v", status, time.Since(start), err)
+		return
+	}
+	truncated := false
+	if s.MaxRows > 0 && len(res.Rows) > s.MaxRows {
+		res = &sparql.Results{Vars: res.Vars, Rows: res.Rows[:s.MaxRows]}
+		truncated = true
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	if truncated {
+		w.Header().Set("X-Truncated", "true")
+	}
+	if err := res.WriteJSON(w); err != nil {
+		s.logf("write error: %v", err)
+		return
+	}
+	s.logf("query ok: %d rows in %v (truncated=%v)", len(res.Rows), time.Since(start), truncated)
+}
+
+// handleStats reports per-graph triple counts as JSON, a small exploration
+// aid mirroring the paper's data exploration needs.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type graphStat struct {
+		Graph   string `json:"graph"`
+		Triples int    `json:"triples"`
+	}
+	var stats []graphStat
+	for _, uri := range s.Engine.Store.GraphURIs() {
+		stats = append(stats, graphStat{Graph: uri, Triples: s.Engine.Store.Graph(uri).Len()})
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Graph < stats[j].Graph })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(stats)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logger != nil {
+		s.Logger.Printf(format, args...)
+	}
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/sparql"
+	"rdfframes/internal/store"
+)
+
+const g = "http://test/g"
+
+func newTestServer(t *testing.T, maxRows int) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st := store.New()
+	for i := 0; i < 25; i++ {
+		err := st.Add(g, rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%02d", i)),
+			P: rdf.NewIRI("http://ex/p"),
+			O: rdf.NewInteger(int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := New(sparql.NewEngine(st))
+	srv.MaxRows = maxRows
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func get(t *testing.T, ts *httptest.Server, query string) (*http.Response, *sparql.Results) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	res, err := sparql.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, res
+}
+
+func TestServerBasicQuery(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	resp, res := get(t, ts, `SELECT * WHERE { ?s <http://ex/p> ?o }`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if len(res.Rows) != 25 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestServerTruncatesAtMaxRows(t *testing.T) {
+	ts, _ := newTestServer(t, 10)
+	resp, res := get(t, ts, `SELECT * WHERE { ?s <http://ex/p> ?o }`)
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(res.Rows))
+	}
+	if resp.Header.Get("X-Truncated") != "true" {
+		t.Fatal("missing truncation header")
+	}
+}
+
+func TestServerPostForm(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	resp, err := http.PostForm(ts.URL+"/sparql", url.Values{"query": {`SELECT * WHERE { ?s <http://ex/p> ?o }`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	res, err := sparql.ReadJSON(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 25 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestServerPostRawSPARQL(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	body := strings.NewReader(`SELECT * WHERE { ?s <http://ex/p> ?o }`)
+	resp, err := http.Post(ts.URL+"/sparql", "application/sparql-query", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsBadQuery(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	resp, _ := get(t, ts, `THIS IS NOT SPARQL`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerMissingQueryParam(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	resp, err := http.Get(ts.URL + "/sparql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sparql", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerTimeoutStatus(t *testing.T) {
+	st := store.New()
+	for i := 0; i < 500; i++ {
+		st.Add(g, rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i)),
+			P: rdf.NewIRI("http://ex/p"),
+			O: rdf.NewIRI(fmt.Sprintf("http://ex/o%d", i%5)),
+		})
+	}
+	eng := sparql.NewEngine(st)
+	eng.Timeout = time.Nanosecond
+	ts := httptest.NewServer(New(eng).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(
+		`SELECT * WHERE { ?a <http://ex/p> ?x . ?b <http://ex/p> ?y . ?c <http://ex/p> ?z }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats []struct {
+		Graph   string `json:"graph"`
+		Triples int    `json:"triples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 || stats[0].Triples != 25 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestServerHealth(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	resp, err := http.Get(ts.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,209 @@
+// Package sparql implements the fragment of SPARQL 1.1 that RDFFrames
+// generates and the paper's evaluation uses: SELECT queries with basic graph
+// patterns, FILTER, OPTIONAL, UNION, GRAPH, nested subqueries, BIND,
+// grouping/aggregation with HAVING, solution modifiers, and the SPARQL JSON
+// results format. It provides a lexer, a recursive-descent parser, and a
+// bag-semantics evaluator over the triple store with greedy join ordering.
+package sparql
+
+import (
+	"rdfframes/internal/rdf"
+)
+
+// Node is a triple-pattern slot: either a variable or a concrete RDF term.
+type Node struct {
+	IsVar bool
+	Var   string // variable name without the leading '?'
+	Term  rdf.Term
+}
+
+// Variable returns a variable node.
+func Variable(name string) Node { return Node{IsVar: true, Var: name} }
+
+// TermNode returns a constant term node.
+func TermNode(t rdf.Term) Node { return Node{Term: t} }
+
+// String renders the node in SPARQL syntax.
+func (n Node) String() string {
+	if n.IsVar {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// TriplePattern is one subject-predicate-object pattern.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+// String renders the pattern in SPARQL syntax (without trailing dot).
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String()
+}
+
+// Vars returns the variable names used by the pattern, in S,P,O order.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	for _, n := range []Node{tp.S, tp.P, tp.O} {
+		if n.IsVar {
+			out = append(out, n.Var)
+		}
+	}
+	return out
+}
+
+// Element is one component of a group graph pattern.
+type Element interface{ isElement() }
+
+// BGPElem is a single triple pattern within a group.
+type BGPElem struct {
+	Pattern TriplePattern
+}
+
+// FilterElem is a FILTER constraint.
+type FilterElem struct {
+	Cond Expression
+}
+
+// BindElem is a BIND(expr AS ?var) assignment.
+type BindElem struct {
+	Expr Expression
+	Var  string
+}
+
+// OptionalElem is an OPTIONAL { ... } block.
+type OptionalElem struct {
+	Group *Group
+}
+
+// UnionElem is a chain of groups combined with UNION.
+type UnionElem struct {
+	Branches []*Group
+}
+
+// GraphElem is a GRAPH <uri> { ... } block scoping its group to one graph.
+type GraphElem struct {
+	Graph string
+	Group *Group
+}
+
+// GroupElem is a braced nested group.
+type GroupElem struct {
+	Group *Group
+}
+
+// SubQueryElem is a nested SELECT query.
+type SubQueryElem struct {
+	Query *Query
+}
+
+func (BGPElem) isElement()      {}
+func (FilterElem) isElement()   {}
+func (BindElem) isElement()     {}
+func (OptionalElem) isElement() {}
+func (UnionElem) isElement()    {}
+func (GraphElem) isElement()    {}
+func (GroupElem) isElement()    {}
+func (SubQueryElem) isElement() {}
+
+// Group is a group graph pattern: an ordered list of elements.
+type Group struct {
+	Elems []Element
+}
+
+// SelectItem is one projection: a plain variable, or (expr AS ?var).
+type SelectItem struct {
+	Var  string
+	Expr Expression // nil for a plain variable
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expression
+	Desc bool
+}
+
+// Query is a parsed SELECT query (or subquery).
+type Query struct {
+	Distinct bool
+	Star     bool
+	Items    []SelectItem
+	From     []string // graph IRIs from FROM clauses
+	Where    *Group
+	GroupBy  []string
+	Having   []Expression
+	OrderBy  []OrderKey
+	Limit    int // -1 if absent
+	Offset   int // 0 if absent
+}
+
+// HasAggregates reports whether the query computes aggregates (explicitly
+// grouped, or with aggregate expressions in the projection or HAVING).
+func (q *Query) HasAggregates() bool {
+	if len(q.GroupBy) > 0 || len(q.Having) > 0 {
+		return true
+	}
+	for _, it := range q.Items {
+		if it.Expr != nil && containsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeVars returns the variables visible in the group in syntactic order,
+// which defines the column order of SELECT *.
+func (g *Group) scopeVars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	var walk func(g *Group)
+	walk = func(g *Group) {
+		for _, el := range g.Elems {
+			switch e := el.(type) {
+			case BGPElem:
+				for _, v := range e.Pattern.Vars() {
+					add(v)
+				}
+			case BindElem:
+				add(e.Var)
+			case OptionalElem:
+				walk(e.Group)
+			case UnionElem:
+				for _, b := range e.Branches {
+					walk(b)
+				}
+			case GraphElem:
+				walk(e.Group)
+			case GroupElem:
+				walk(e.Group)
+			case SubQueryElem:
+				for _, v := range e.Query.projectedVars() {
+					add(v)
+				}
+			}
+		}
+	}
+	walk(g)
+	return out
+}
+
+// projectedVars returns the variables a query exposes to its parent scope.
+func (q *Query) projectedVars() []string {
+	if q.Star {
+		if q.Where == nil {
+			return nil
+		}
+		return q.Where.scopeVars()
+	}
+	out := make([]string, 0, len(q.Items))
+	for _, it := range q.Items {
+		out = append(out, it.Var)
+	}
+	return out
+}

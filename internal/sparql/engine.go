@@ -1,0 +1,51 @@
+package sparql
+
+import (
+	"time"
+
+	"rdfframes/internal/store"
+)
+
+// Engine evaluates SPARQL queries against a triple store. It is the
+// stand-in for the RDF database system (Virtuoso in the paper).
+type Engine struct {
+	// Store is the underlying quad store.
+	Store *store.Store
+	// DefaultGraphs are queried when a query has no FROM clause. Empty
+	// means the union of all graphs in the store.
+	DefaultGraphs []string
+	// Timeout bounds query execution; zero disables the deadline.
+	Timeout time.Duration
+	// DisableReorder turns off greedy join ordering, evaluating triple
+	// patterns in textual order (for ablation benchmarks).
+	DisableReorder bool
+	// DisablePushdown turns off early filter application during BGP
+	// evaluation (for ablation benchmarks).
+	DisablePushdown bool
+}
+
+// NewEngine returns an engine over st with no default-graph restriction.
+func NewEngine(st *store.Store) *Engine { return &Engine{Store: st} }
+
+// Query parses and evaluates a SELECT query, returning its solutions.
+func (e *Engine) Query(src string) (*Results, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(q)
+}
+
+// Eval evaluates an already-parsed query.
+func (e *Engine) Eval(q *Query) (*Results, error) {
+	ev := &evaluator{
+		store:           e.Store,
+		cache:           &regexCache{},
+		disableReorder:  e.DisableReorder,
+		disablePushdown: e.DisablePushdown,
+	}
+	if e.Timeout > 0 {
+		ev.deadline = time.Now().Add(e.Timeout)
+	}
+	return ev.evalQuery(q, e.DefaultGraphs)
+}

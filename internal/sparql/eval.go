@@ -1,0 +1,805 @@
+package sparql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/store"
+)
+
+// Binding maps variable names to terms. Absent variables are unbound.
+type Binding map[string]rdf.Term
+
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+2)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// ErrTimeout is returned when a query exceeds the engine's deadline.
+var ErrTimeout = fmt.Errorf("sparql: query timeout")
+
+type evaluator struct {
+	store           *store.Store
+	deadline        time.Time
+	steps           int
+	cache           *regexCache
+	disableReorder  bool
+	disablePushdown bool
+}
+
+// deadlineErr reports whether the evaluator's deadline has passed.
+func (ev *evaluator) deadlineErr() error {
+	if !ev.deadline.IsZero() && time.Now().After(ev.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+func (ev *evaluator) tick() error {
+	ev.steps++
+	if ev.steps&0x1fff == 0 && !ev.deadline.IsZero() && time.Now().After(ev.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// evalQuery evaluates a query against the given default graphs and returns
+// its projected solutions.
+func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, error) {
+	graphs := defaultGraphs
+	if len(q.From) > 0 {
+		graphs = q.From
+	}
+	sols, err := ev.evalGroup(q.Where, graphs, "")
+	if err != nil {
+		return nil, err
+	}
+
+	var vars []string
+	switch {
+	case q.HasAggregates():
+		if q.Star {
+			return nil, fmt.Errorf("sparql: SELECT * cannot be combined with aggregation")
+		}
+		sols, err = ev.aggregate(q, sols)
+		if err != nil {
+			return nil, err
+		}
+		vars = q.projectedVars()
+	default:
+		// Extend with computed projections (expr AS ?var).
+		for _, it := range q.Items {
+			if it.Expr == nil {
+				continue
+			}
+			for i, row := range sols {
+				v, err := evalExpr(it.Expr, &evalCtx{row: row, cache: ev.cache})
+				nr := row.clone()
+				if err == nil {
+					nr[it.Var] = v
+				}
+				sols[i] = nr
+			}
+		}
+		vars = q.projectedVars()
+	}
+
+	if len(q.OrderBy) > 0 {
+		if err := ev.orderBy(sols, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+
+	rows := make([][]rdf.Term, len(sols))
+	for i, row := range sols {
+		r := make([]rdf.Term, len(vars))
+		for j, v := range vars {
+			r[j] = row[v]
+		}
+		rows[i] = r
+	}
+	if q.Distinct {
+		rows = distinctRows(rows)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Results{Vars: vars, Rows: rows}, nil
+}
+
+func (ev *evaluator) aggregate(q *Query, sols []Binding) ([]Binding, error) {
+	type groupEntry struct {
+		key  string
+		rows []Binding
+	}
+	var groups []*groupEntry
+	if len(q.GroupBy) == 0 {
+		// Implicit single group; non-nil rows so aggregates see a group
+		// context even when the pattern matched nothing (COUNT()=0).
+		rows := sols
+		if rows == nil {
+			rows = []Binding{}
+		}
+		groups = []*groupEntry{{rows: rows}}
+	} else {
+		index := map[string]*groupEntry{}
+		for _, row := range sols {
+			var sb strings.Builder
+			for _, v := range q.GroupBy {
+				sb.WriteString(row[v].String())
+				sb.WriteByte('\x00')
+			}
+			k := sb.String()
+			ge, ok := index[k]
+			if !ok {
+				ge = &groupEntry{key: k}
+				index[k] = ge
+				groups = append(groups, ge)
+			}
+			ge.rows = append(ge.rows, row)
+		}
+	}
+
+	var out []Binding
+	for _, ge := range groups {
+		if err := ev.tick(); err != nil {
+			return nil, err
+		}
+		keyRow := Binding{}
+		if len(ge.rows) > 0 {
+			for _, v := range q.GroupBy {
+				if t, ok := ge.rows[0][v]; ok {
+					keyRow[v] = t
+				}
+			}
+		}
+		ctx := &evalCtx{row: keyRow, group: ge.rows, cache: ev.cache}
+		keep := true
+		for _, h := range q.Having {
+			if !evalBool(h, ctx) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		newRow := keyRow.clone()
+		for _, it := range q.Items {
+			if it.Expr == nil {
+				continue // plain variable: must be a grouping var, already present
+			}
+			v, err := evalExpr(it.Expr, ctx)
+			if err == nil {
+				newRow[it.Var] = v
+			}
+		}
+		out = append(out, newRow)
+	}
+	return out, nil
+}
+
+func (ev *evaluator) orderBy(sols []Binding, keys []OrderKey) error {
+	type sortRow struct {
+		row  Binding
+		keys []rdf.Term
+	}
+	rows := make([]sortRow, len(sols))
+	for i, row := range sols {
+		ks := make([]rdf.Term, len(keys))
+		for j, k := range keys {
+			v, err := evalExpr(k.Expr, &evalCtx{row: row, cache: ev.cache})
+			if err == nil {
+				ks[j] = v
+			}
+		}
+		rows[i] = sortRow{row: row, keys: ks}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for j, k := range keys {
+			c := rdf.Compare(rows[a].keys[j], rows[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range rows {
+		sols[i] = rows[i].row
+	}
+	return nil
+}
+
+func distinctRows(rows [][]rdf.Term) [][]rdf.Term {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var sb strings.Builder
+		for _, t := range r {
+			sb.WriteString(t.String())
+			sb.WriteByte('\x00')
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// evalGroup evaluates a group graph pattern. graphOverride, when non-empty,
+// scopes all patterns to that single graph (a GRAPH block).
+func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) ([]Binding, error) {
+	active := graphs
+	if graphOverride != "" {
+		active = []string{graphOverride}
+	}
+	current := []Binding{{}}
+	var pending []TriplePattern
+
+	// FILTER scope is the whole group regardless of textual position;
+	// collecting filters up front lets BGP evaluation push them down.
+	var filters []Expression
+	for _, el := range g.Elems {
+		if f, ok := el.(FilterElem); ok {
+			filters = append(filters, f.Cond)
+		}
+	}
+
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		var err error
+		current, err = ev.evalBGP(current, pending, active, &filters)
+		pending = nil
+		return err
+	}
+
+	for _, el := range g.Elems {
+		switch e := el.(type) {
+		case BGPElem:
+			pending = append(pending, e.Pattern)
+		case FilterElem:
+			// Collected before the loop.
+		case BindElem:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			for i, row := range current {
+				v, err := evalExpr(e.Expr, &evalCtx{row: row, cache: ev.cache})
+				nr := row.clone()
+				if err == nil {
+					nr[e.Var] = v
+				}
+				current[i] = nr
+			}
+		case OptionalElem:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			right, err := ev.evalGroup(e.Group, graphs, graphOverride)
+			if err != nil {
+				return nil, err
+			}
+			current = leftJoin(current, right)
+		case UnionElem:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			var union []Binding
+			for _, b := range e.Branches {
+				part, err := ev.evalGroup(b, graphs, graphOverride)
+				if err != nil {
+					return nil, err
+				}
+				union = append(union, part...)
+			}
+			current = join(current, union)
+		case GraphElem:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			right, err := ev.evalGroup(e.Group, graphs, e.Graph)
+			if err != nil {
+				return nil, err
+			}
+			current = join(current, right)
+		case GroupElem:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			right, err := ev.evalGroup(e.Group, graphs, graphOverride)
+			if err != nil {
+				return nil, err
+			}
+			current = join(current, right)
+		case SubQueryElem:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			res, err := ev.evalQuery(e.Query, graphs)
+			if err != nil {
+				return nil, err
+			}
+			current = joinDeadline(current, res.bindings(), ev.deadline)
+			if err := ev.deadlineErr(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sparql: unknown group element %T", el)
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	// FILTER scope is the whole group.
+	if len(filters) > 0 {
+		kept := current[:0]
+		for _, row := range current {
+			if err := ev.tick(); err != nil {
+				return nil, err
+			}
+			ok := true
+			ctx := &evalCtx{row: row, cache: ev.cache}
+			for _, f := range filters {
+				if !evalBool(f, ctx) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		current = kept
+	}
+	return current, nil
+}
+
+// evalBGP joins the current solutions with a basic graph pattern, choosing
+// a greedy pattern order by estimated cardinality. Filters from the
+// enclosing group are pushed down: as soon as every variable of a filter is
+// bound, it is applied (and removed from the group's filter list), pruning
+// intermediate results early. This is sound because group filters are
+// conjunctive and rows never regain bindings they were rejected on.
+func (ev *evaluator) evalBGP(current []Binding, patterns []TriplePattern, graphs []string, filters *[]Expression) ([]Binding, error) {
+	if len(current) == 0 {
+		return nil, nil
+	}
+	bound := map[string]bool{}
+	for _, row := range current {
+		for v := range row {
+			bound[v] = true
+		}
+	}
+	ordered := patterns
+	if !ev.disableReorder {
+		ordered = ev.orderPatterns(patterns, bound, graphs)
+	}
+	var err error
+	for _, pat := range ordered {
+		current, err = ev.extend(current, pat, graphs)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range pat.Vars() {
+			bound[v] = true
+		}
+		if filters != nil && !ev.disablePushdown {
+			current, err = ev.applyReadyFilters(current, bound, filters)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(current) == 0 {
+			return nil, nil
+		}
+	}
+	return current, nil
+}
+
+// applyReadyFilters applies and removes every filter whose variables are
+// all bound.
+func (ev *evaluator) applyReadyFilters(current []Binding, bound map[string]bool, filters *[]Expression) ([]Binding, error) {
+	remaining := (*filters)[:0]
+	for _, f := range *filters {
+		ready := true
+		for _, v := range exprVars(f) {
+			if !bound[v] {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			remaining = append(remaining, f)
+			continue
+		}
+		kept := current[:0]
+		for _, row := range current {
+			if err := ev.tick(); err != nil {
+				return nil, err
+			}
+			if evalBool(f, &evalCtx{row: row, cache: ev.cache}) {
+				kept = append(kept, row)
+			}
+		}
+		current = kept
+	}
+	*filters = remaining
+	return current, nil
+}
+
+// exprVars collects the variables referenced by an expression.
+func exprVars(e Expression) []string {
+	var out []string
+	var walk func(e Expression)
+	walk = func(e Expression) {
+		switch x := e.(type) {
+		case ExVar:
+			out = append(out, x.Name)
+		case ExBinary:
+			walk(x.L)
+			walk(x.R)
+		case ExUnary:
+			walk(x.E)
+		case ExCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case ExIn:
+			walk(x.E)
+			for _, a := range x.List {
+				walk(a)
+			}
+		case ExAgg:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// orderPatterns greedily sorts patterns so that the estimated-cheapest
+// pattern (given already-bound variables) runs first.
+func (ev *evaluator) orderPatterns(patterns []TriplePattern, bound map[string]bool, graphs []string) []TriplePattern {
+	remaining := append([]TriplePattern(nil), patterns...)
+	boundVars := map[string]bool{}
+	for v := range bound {
+		boundVars[v] = true
+	}
+	var out []TriplePattern
+	for len(remaining) > 0 {
+		bestIdx, bestScore := 0, math.MaxFloat64
+		for i, pat := range remaining {
+			score := ev.estimate(pat, boundVars, graphs)
+			if score < bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		chosen := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		out = append(out, chosen)
+		for _, v := range chosen.Vars() {
+			boundVars[v] = true
+		}
+	}
+	return out
+}
+
+// estimate scores a pattern: the store cardinality with constants bound,
+// discounted for each position bound by an already-bound variable.
+func (ev *evaluator) estimate(pat TriplePattern, bound map[string]bool, graphs []string) float64 {
+	idPat, known := ev.constantPattern(pat)
+	if !known {
+		return 0 // a constant term absent from the dictionary: zero matches
+	}
+	base := float64(ev.store.Cardinality(graphs, idPat))
+	discount := 1.0
+	for _, n := range []Node{pat.S, pat.P, pat.O} {
+		if n.IsVar && bound[n.Var] {
+			discount *= 16
+		}
+	}
+	return base / discount
+}
+
+// constantPattern encodes the constant positions of pat; known is false if
+// a constant term does not exist in the dictionary (no possible match).
+func (ev *evaluator) constantPattern(pat TriplePattern) (store.IDTriple, bool) {
+	var out store.IDTriple
+	dict := ev.store.Dict()
+	enc := func(n Node) (store.ID, bool) {
+		if n.IsVar {
+			return 0, true
+		}
+		id, ok := dict.Lookup(n.Term)
+		return id, ok
+	}
+	var ok bool
+	if out.S, ok = enc(pat.S); !ok {
+		return out, false
+	}
+	if out.P, ok = enc(pat.P); !ok {
+		return out, false
+	}
+	if out.O, ok = enc(pat.O); !ok {
+		return out, false
+	}
+	return out, true
+}
+
+// extend joins each current solution with the matches of one pattern.
+func (ev *evaluator) extend(current []Binding, pat TriplePattern, graphs []string) ([]Binding, error) {
+	dict := ev.store.Dict()
+	var out []Binding
+	for _, row := range current {
+		if err := ev.tick(); err != nil {
+			return nil, err
+		}
+		var idPat store.IDTriple
+		ok := true
+		resolve := func(n Node) store.ID {
+			if !ok {
+				return 0
+			}
+			var t rdf.Term
+			if n.IsVar {
+				bt, bok := row[n.Var]
+				if !bok || !bt.IsBound() {
+					return 0 // wildcard
+				}
+				t = bt
+			} else {
+				t = n.Term
+			}
+			id, found := dict.Lookup(t)
+			if !found {
+				ok = false
+			}
+			return id
+		}
+		idPat.S = resolve(pat.S)
+		idPat.P = resolve(pat.P)
+		idPat.O = resolve(pat.O)
+		if !ok {
+			continue
+		}
+		var iterErr error
+		ev.store.MatchAny(graphs, idPat, func(t store.IDTriple) bool {
+			if err := ev.tick(); err != nil {
+				iterErr = err
+				return false
+			}
+			nr := row.clone()
+			if !bindNode(nr, pat.S, dict.Decode(t.S)) {
+				return true
+			}
+			if !bindNode(nr, pat.P, dict.Decode(t.P)) {
+				return true
+			}
+			if !bindNode(nr, pat.O, dict.Decode(t.O)) {
+				return true
+			}
+			out = append(out, nr)
+			return true
+		})
+		if iterErr != nil {
+			return nil, iterErr
+		}
+	}
+	return out, nil
+}
+
+// bindNode records a variable binding, rejecting inconsistent re-binding
+// (the same variable matched to two different terms within one pattern).
+func bindNode(row Binding, n Node, t rdf.Term) bool {
+	if !n.IsVar {
+		return true
+	}
+	if prev, ok := row[n.Var]; ok && prev.IsBound() {
+		return prev == t
+	}
+	row[n.Var] = t
+	return true
+}
+
+// join computes the SPARQL join of two solution multisets (compatible
+// mappings merged). It hash-joins on the shared variables that are bound in
+// every row (verifying compatibility of the rest per pair), falling back to
+// a nested loop only when no shared variable is always bound.
+func join(left, right []Binding) []Binding { return joinDeadline(left, right, time.Time{}) }
+
+func joinDeadline(left, right []Binding, deadline time.Time) []Binding {
+	if len(left) == 0 || len(right) == 0 {
+		return nil
+	}
+	shared, boundShared := sharedVars(left, right)
+	if len(shared) == 0 {
+		// Cross product.
+		out := make([]Binding, 0, len(left)*len(right))
+		for _, l := range left {
+			for _, r := range right {
+				out = append(out, merge(l, r))
+			}
+		}
+		return out
+	}
+	needVerify := len(boundShared) < len(shared)
+	if len(boundShared) > 0 {
+		index := map[string][]Binding{}
+		for _, r := range right {
+			index[joinKey(r, boundShared)] = append(index[joinKey(r, boundShared)], r)
+		}
+		var out []Binding
+		for i, l := range left {
+			if deadlineExceeded(deadline, i) {
+				return out
+			}
+			for _, r := range index[joinKey(l, boundShared)] {
+				if !needVerify || compatible(l, r) {
+					out = append(out, merge(l, r))
+				}
+			}
+		}
+		return out
+	}
+	var out []Binding
+	for i, l := range left {
+		if deadlineExceeded(deadline, i) {
+			return out
+		}
+		for _, r := range right {
+			if compatible(l, r) {
+				out = append(out, merge(l, r))
+			}
+		}
+	}
+	return out
+}
+
+// leftJoin computes the SPARQL left outer join of two solution multisets.
+func leftJoin(left, right []Binding) []Binding { return leftJoinDeadline(left, right, time.Time{}) }
+
+func leftJoinDeadline(left, right []Binding, deadline time.Time) []Binding {
+	if len(left) == 0 {
+		return nil
+	}
+	if len(right) == 0 {
+		return left
+	}
+	shared, boundShared := sharedVars(left, right)
+	var out []Binding
+	if len(shared) > 0 && len(boundShared) > 0 {
+		needVerify := len(boundShared) < len(shared)
+		index := map[string][]Binding{}
+		for _, r := range right {
+			index[joinKey(r, boundShared)] = append(index[joinKey(r, boundShared)], r)
+		}
+		for i, l := range left {
+			if deadlineExceeded(deadline, i) {
+				return out
+			}
+			matched := false
+			for _, r := range index[joinKey(l, boundShared)] {
+				if !needVerify || compatible(l, r) {
+					out = append(out, merge(l, r))
+					matched = true
+				}
+			}
+			if !matched {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	for i, l := range left {
+		if deadlineExceeded(deadline, i) {
+			return out
+		}
+		matched := false
+		for _, r := range right {
+			if compatible(l, r) {
+				out = append(out, merge(l, r))
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// deadlineExceeded checks the deadline every 1024 iterations; abandoned
+// client-side joins stop consuming CPU shortly after their harness gives
+// up on them.
+func deadlineExceeded(deadline time.Time, i int) bool {
+	return !deadline.IsZero() && i&1023 == 0 && time.Now().After(deadline)
+}
+
+// sharedVars returns the variables observed on both sides, plus the subset
+// of them bound in every row on both sides (usable as a hash-join key).
+func sharedVars(left, right []Binding) (shared, boundShared []string) {
+	lv := map[string]bool{}
+	for _, row := range left {
+		for v := range row {
+			lv[v] = true
+		}
+	}
+	rv := map[string]bool{}
+	for _, row := range right {
+		for v := range row {
+			rv[v] = true
+		}
+	}
+	for v := range lv {
+		if rv[v] {
+			shared = append(shared, v)
+		}
+	}
+	sort.Strings(shared)
+	alwaysBound := func(rows []Binding, v string) bool {
+		for _, row := range rows {
+			if t, ok := row[v]; !ok || !t.IsBound() {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range shared {
+		if alwaysBound(left, v) && alwaysBound(right, v) {
+			boundShared = append(boundShared, v)
+		}
+	}
+	return shared, boundShared
+}
+
+func joinKey(row Binding, vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		sb.WriteString(row[v].String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+func compatible(a, b Binding) bool {
+	for v, av := range a {
+		if bv, ok := b[v]; ok && av.IsBound() && bv.IsBound() && av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func merge(a, b Binding) Binding {
+	out := a.clone()
+	for v, bv := range b {
+		if cur, ok := out[v]; !ok || !cur.IsBound() {
+			out[v] = bv
+		}
+	}
+	return out
+}

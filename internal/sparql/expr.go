@@ -1,0 +1,638 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"rdfframes/internal/rdf"
+)
+
+// Expression is a SPARQL expression tree node.
+type Expression interface{ isExpr() }
+
+// ExVar references a variable.
+type ExVar struct{ Name string }
+
+// ExTerm is a constant term (IRI, literal, number, boolean).
+type ExTerm struct{ Term rdf.Term }
+
+// ExBinary applies a binary operator: || && = != < <= > >= + - * /.
+type ExBinary struct {
+	Op   string
+	L, R Expression
+}
+
+// ExUnary applies a unary operator: ! or -.
+type ExUnary struct {
+	Op string
+	E  Expression
+}
+
+// ExCall is a built-in function call or an XSD cast; Name is the lowercase
+// builtin name ("regex", "str", "isiri", ...) or a full datatype IRI.
+type ExCall struct {
+	Name string
+	Args []Expression
+}
+
+// ExIn is "expr IN (list)" or "expr NOT IN (list)".
+type ExIn struct {
+	E    Expression
+	List []Expression
+	Neg  bool
+}
+
+// ExAgg is an aggregate: COUNT/SUM/AVG/MIN/MAX/SAMPLE, optionally DISTINCT,
+// over an expression or * (COUNT only).
+type ExAgg struct {
+	Fn       string // lowercase
+	Distinct bool
+	Star     bool
+	Arg      Expression // nil when Star
+}
+
+func (ExVar) isExpr()    {}
+func (ExTerm) isExpr()   {}
+func (ExBinary) isExpr() {}
+func (ExUnary) isExpr()  {}
+func (ExCall) isExpr()   {}
+func (ExIn) isExpr()     {}
+func (ExAgg) isExpr()    {}
+
+func containsAggregate(e Expression) bool {
+	switch x := e.(type) {
+	case ExAgg:
+		return true
+	case ExBinary:
+		return containsAggregate(x.L) || containsAggregate(x.R)
+	case ExUnary:
+		return containsAggregate(x.E)
+	case ExCall:
+		for _, a := range x.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case ExIn:
+		if containsAggregate(x.E) {
+			return true
+		}
+		for _, a := range x.List {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// errExpr represents a SPARQL expression evaluation error ("type error").
+// Filters drop solutions whose condition errors; Extend leaves the variable
+// unbound.
+var errExpr = fmt.Errorf("sparql: expression error")
+
+// evalCtx carries the evaluation context for expressions: the current row,
+// and, when evaluating HAVING or aggregate projections, the group.
+type evalCtx struct {
+	row   Binding
+	group []Binding // non-nil when aggregates are in scope
+	cache *regexCache
+}
+
+type regexCache struct {
+	m map[string]*regexp.Regexp
+}
+
+func (rc *regexCache) get(pattern, flags string) (*regexp.Regexp, error) {
+	key := flags + "\x00" + pattern
+	if rc.m == nil {
+		rc.m = make(map[string]*regexp.Regexp)
+	}
+	if re, ok := rc.m[key]; ok {
+		return re, nil
+	}
+	p := pattern
+	if strings.Contains(flags, "i") {
+		p = "(?i)" + p
+	}
+	re, err := regexp.Compile(p)
+	if err != nil {
+		return nil, errExpr
+	}
+	rc.m[key] = re
+	return re, nil
+}
+
+// evalExpr evaluates e in ctx, returning a term or errExpr.
+func evalExpr(e Expression, ctx *evalCtx) (rdf.Term, error) {
+	switch x := e.(type) {
+	case ExTerm:
+		return x.Term, nil
+	case ExVar:
+		t, ok := ctx.row[x.Name]
+		if !ok || !t.IsBound() {
+			return rdf.Term{}, errExpr
+		}
+		return t, nil
+	case ExUnary:
+		return evalUnary(x, ctx)
+	case ExBinary:
+		return evalBinary(x, ctx)
+	case ExCall:
+		return evalCall(x, ctx)
+	case ExIn:
+		return evalIn(x, ctx)
+	case ExAgg:
+		if ctx.group == nil {
+			return rdf.Term{}, fmt.Errorf("sparql: aggregate outside of group context")
+		}
+		return evalAggregate(x, ctx)
+	}
+	return rdf.Term{}, fmt.Errorf("sparql: unknown expression %T", e)
+}
+
+// ebv computes the SPARQL effective boolean value of a term.
+func ebv(t rdf.Term) (bool, error) {
+	if t.Kind != rdf.LiteralKind {
+		return false, errExpr
+	}
+	if t.Datatype == rdf.XSDBoolean {
+		b, ok := t.AsBool()
+		if !ok {
+			return false, errExpr
+		}
+		return b, nil
+	}
+	if t.IsNumeric() {
+		f, ok := t.AsFloat()
+		if !ok {
+			return false, errExpr
+		}
+		return f != 0, nil
+	}
+	if t.Datatype == "" {
+		return t.Value != "", nil
+	}
+	return false, errExpr
+}
+
+// evalBool evaluates a boolean condition; an expression error is false.
+func evalBool(e Expression, ctx *evalCtx) bool {
+	t, err := evalExpr(e, ctx)
+	if err != nil {
+		return false
+	}
+	b, err := ebv(t)
+	return err == nil && b
+}
+
+func boolTerm(b bool) rdf.Term { return rdf.NewBoolean(b) }
+
+func evalUnary(x ExUnary, ctx *evalCtx) (rdf.Term, error) {
+	v, err := evalExpr(x.E, ctx)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch x.Op {
+	case "!":
+		b, err := ebv(v)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(!b), nil
+	case "-":
+		f, ok := v.AsFloat()
+		if !ok {
+			return rdf.Term{}, errExpr
+		}
+		return numericTerm(-f, v), nil
+	}
+	return rdf.Term{}, fmt.Errorf("sparql: unknown unary op %q", x.Op)
+}
+
+// numericTerm builds a numeric result term, preserving integer typing when
+// both the value and the operand datatype allow it.
+func numericTerm(f float64, like ...rdf.Term) rdf.Term {
+	isInt := f == float64(int64(f))
+	for _, t := range like {
+		if t.Datatype != rdf.XSDInteger {
+			isInt = false
+		}
+	}
+	if isInt {
+		return rdf.NewInteger(int64(f))
+	}
+	return rdf.NewDecimal(f)
+}
+
+func evalBinary(x ExBinary, ctx *evalCtx) (rdf.Term, error) {
+	switch x.Op {
+	case "||":
+		// SPARQL logical-or: true if either is true, even if the other errors.
+		lt, lerr := evalExpr(x.L, ctx)
+		rt, rerr := evalExpr(x.R, ctx)
+		lb, lbe := false, errExpr
+		if lerr == nil {
+			lb, lbe = boolOrErr(lt)
+		}
+		rb, rbe := false, errExpr
+		if rerr == nil {
+			rb, rbe = boolOrErr(rt)
+		}
+		if lbe == nil && lb || rbe == nil && rb {
+			return boolTerm(true), nil
+		}
+		if lbe != nil || rbe != nil {
+			return rdf.Term{}, errExpr
+		}
+		return boolTerm(false), nil
+	case "&&":
+		lt, lerr := evalExpr(x.L, ctx)
+		rt, rerr := evalExpr(x.R, ctx)
+		lb, lbe := false, errExpr
+		if lerr == nil {
+			lb, lbe = boolOrErr(lt)
+		}
+		rb, rbe := false, errExpr
+		if rerr == nil {
+			rb, rbe = boolOrErr(rt)
+		}
+		if lbe == nil && !lb || rbe == nil && !rb {
+			return boolTerm(false), nil
+		}
+		if lbe != nil || rbe != nil {
+			return rdf.Term{}, errExpr
+		}
+		return boolTerm(true), nil
+	}
+	l, err := evalExpr(x.L, ctx)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	r, err := evalExpr(x.R, ctx)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch x.Op {
+	case "=", "!=":
+		eq, err := termsEqual(l, r)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if x.Op == "!=" {
+			eq = !eq
+		}
+		return boolTerm(eq), nil
+	case "<", "<=", ">", ">=":
+		c, err := termsCompare(l, r)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		switch x.Op {
+		case "<":
+			return boolTerm(c < 0), nil
+		case "<=":
+			return boolTerm(c <= 0), nil
+		case ">":
+			return boolTerm(c > 0), nil
+		default:
+			return boolTerm(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return rdf.Term{}, errExpr
+		}
+		var f float64
+		switch x.Op {
+		case "+":
+			f = lf + rf
+		case "-":
+			f = lf - rf
+		case "*":
+			f = lf * rf
+		default:
+			if rf == 0 {
+				return rdf.Term{}, errExpr
+			}
+			f = lf / rf
+		}
+		return numericTerm(f, l, r), nil
+	}
+	return rdf.Term{}, fmt.Errorf("sparql: unknown binary op %q", x.Op)
+}
+
+func boolOrErr(t rdf.Term) (bool, error) { return ebv(t) }
+
+// termsEqual implements SPARQL RDFterm-equal plus numeric value equality.
+func termsEqual(l, r rdf.Term) (bool, error) {
+	if l.IsNumeric() && r.IsNumeric() {
+		lf, _ := l.AsFloat()
+		rf, _ := r.AsFloat()
+		return lf == rf, nil
+	}
+	return l == r, nil
+}
+
+// termsCompare implements SPARQL operator comparison: numeric by value,
+// strings lexically, dates lexically (ISO forms order correctly).
+func termsCompare(l, r rdf.Term) (int, error) {
+	if l.IsNumeric() && r.IsNumeric() {
+		lf, _ := l.AsFloat()
+		rf, _ := r.AsFloat()
+		switch {
+		case lf < rf:
+			return -1, nil
+		case lf > rf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if l.Kind == rdf.LiteralKind && r.Kind == rdf.LiteralKind {
+		return strings.Compare(l.Value, r.Value), nil
+	}
+	if l.Kind == rdf.IRIKind && r.Kind == rdf.IRIKind {
+		return strings.Compare(l.Value, r.Value), nil
+	}
+	return 0, errExpr
+}
+
+func evalIn(x ExIn, ctx *evalCtx) (rdf.Term, error) {
+	v, err := evalExpr(x.E, ctx)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	found := false
+	for _, item := range x.List {
+		it, err := evalExpr(item, ctx)
+		if err != nil {
+			continue
+		}
+		eq, err := termsEqual(v, it)
+		if err == nil && eq {
+			found = true
+			break
+		}
+	}
+	if x.Neg {
+		found = !found
+	}
+	return boolTerm(found), nil
+}
+
+func evalCall(x ExCall, ctx *evalCtx) (rdf.Term, error) {
+	name := strings.ToLower(x.Name)
+	arg := func(i int) (rdf.Term, error) {
+		if i >= len(x.Args) {
+			return rdf.Term{}, errExpr
+		}
+		return evalExpr(x.Args[i], ctx)
+	}
+	switch name {
+	case "bound":
+		v, ok := x.Args[0].(ExVar)
+		if !ok {
+			return rdf.Term{}, errExpr
+		}
+		t, exists := ctx.row[v.Name]
+		return boolTerm(exists && t.IsBound()), nil
+	case "str":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewLiteral(t.Value), nil
+	case "lang":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if t.Kind != rdf.LiteralKind {
+			return rdf.Term{}, errExpr
+		}
+		return rdf.NewLiteral(t.Lang), nil
+	case "datatype":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if t.Kind != rdf.LiteralKind {
+			return rdf.Term{}, errExpr
+		}
+		dt := t.Datatype
+		if dt == "" {
+			dt = rdf.XSDString
+		}
+		return rdf.NewIRI(dt), nil
+	case "isiri", "isuri":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(t.IsIRI()), nil
+	case "isliteral":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(t.IsLiteral()), nil
+	case "isblank":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(t.IsBlank()), nil
+	case "isnumeric":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(t.IsNumeric()), nil
+	case "regex":
+		t, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		pt, err := arg(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		flags := ""
+		if len(x.Args) > 2 {
+			ft, err := arg(2)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			flags = ft.Value
+		}
+		if t.Kind != rdf.LiteralKind {
+			return rdf.Term{}, errExpr
+		}
+		if ctx.cache == nil {
+			ctx.cache = &regexCache{}
+		}
+		re, err := ctx.cache.get(pt.Value, flags)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(re.MatchString(t.Value)), nil
+	case "strstarts":
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := arg(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(strings.HasPrefix(a.Value, b.Value)), nil
+	case "strends":
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := arg(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(strings.HasSuffix(a.Value, b.Value)), nil
+	case "contains":
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		b, err := arg(1)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return boolTerm(strings.Contains(a.Value, b.Value)), nil
+	case "strlen":
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewInteger(int64(len([]rune(a.Value)))), nil
+	case "lcase":
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewLiteral(strings.ToLower(a.Value)), nil
+	case "ucase":
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewLiteral(strings.ToUpper(a.Value)), nil
+	case "abs":
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		f, ok := a.AsFloat()
+		if !ok {
+			return rdf.Term{}, errExpr
+		}
+		if f < 0 {
+			f = -f
+		}
+		return numericTerm(f, a), nil
+	case "year":
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		y, ok := a.Year()
+		if !ok {
+			return rdf.Term{}, errExpr
+		}
+		return rdf.NewInteger(int64(y)), nil
+	}
+	// XSD constructor casts, e.g. xsd:dateTime(?d), xsd:integer(?x).
+	if strings.HasPrefix(x.Name, "http://www.w3.org/2001/XMLSchema#") {
+		a, err := arg(0)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if a.Kind != rdf.LiteralKind {
+			return rdf.Term{}, errExpr
+		}
+		return rdf.NewTypedLiteral(a.Value, x.Name), nil
+	}
+	return rdf.Term{}, fmt.Errorf("sparql: unknown function %q", x.Name)
+}
+
+// evalAggregate computes an aggregate over ctx.group.
+func evalAggregate(x ExAgg, ctx *evalCtx) (rdf.Term, error) {
+	var values []rdf.Term
+	for _, row := range ctx.group {
+		if x.Star {
+			values = append(values, rdf.NewInteger(1))
+			continue
+		}
+		sub := &evalCtx{row: row, cache: ctx.cache}
+		v, err := evalExpr(x.Arg, sub)
+		if err != nil {
+			continue // aggregates skip error values
+		}
+		values = append(values, v)
+	}
+	if x.Distinct {
+		seen := map[rdf.Term]bool{}
+		uniq := values[:0]
+		for _, v := range values {
+			if !seen[v] {
+				seen[v] = true
+				uniq = append(uniq, v)
+			}
+		}
+		values = uniq
+	}
+	switch x.Fn {
+	case "count":
+		return rdf.NewInteger(int64(len(values))), nil
+	case "sum", "avg":
+		sum := 0.0
+		allInt := true
+		for _, v := range values {
+			f, ok := v.AsFloat()
+			if !ok {
+				return rdf.Term{}, errExpr
+			}
+			if v.Datatype != rdf.XSDInteger {
+				allInt = false
+			}
+			sum += f
+		}
+		if x.Fn == "avg" {
+			if len(values) == 0 {
+				return rdf.NewInteger(0), nil
+			}
+			return rdf.NewDecimal(sum / float64(len(values))), nil
+		}
+		if allInt {
+			return rdf.NewInteger(int64(sum)), nil
+		}
+		return rdf.NewDecimal(sum), nil
+	case "min", "max":
+		if len(values) == 0 {
+			return rdf.Term{}, errExpr
+		}
+		best := values[0]
+		for _, v := range values[1:] {
+			c := rdf.Compare(v, best)
+			if x.Fn == "min" && c < 0 || x.Fn == "max" && c > 0 {
+				best = v
+			}
+		}
+		return best, nil
+	case "sample":
+		if len(values) == 0 {
+			return rdf.Term{}, errExpr
+		}
+		return values[0], nil
+	}
+	return rdf.Term{}, fmt.Errorf("sparql: unknown aggregate %q", x.Fn)
+}

@@ -1,0 +1,230 @@
+package sparql
+
+import (
+	"testing"
+
+	"rdfframes/internal/rdf"
+)
+
+func evalInCtx(t *testing.T, e Expression, row Binding) (rdf.Term, error) {
+	t.Helper()
+	return evalExpr(e, &evalCtx{row: row, cache: &regexCache{}})
+}
+
+func TestEBV(t *testing.T) {
+	cases := []struct {
+		t    rdf.Term
+		want bool
+		err  bool
+	}{
+		{rdf.NewBoolean(true), true, false},
+		{rdf.NewBoolean(false), false, false},
+		{rdf.NewInteger(0), false, false},
+		{rdf.NewInteger(3), true, false},
+		{rdf.NewLiteral(""), false, false},
+		{rdf.NewLiteral("x"), true, false},
+		{rdf.NewIRI("http://x"), false, true},
+		{rdf.NewTypedLiteral("2020-01-01", rdf.XSDDate), false, true},
+	}
+	for _, c := range cases {
+		got, err := ebv(c.t)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ebv(%v) = %v, %v; want %v, err=%v", c.t, got, err, c.want, c.err)
+		}
+	}
+}
+
+func TestNumericComparisonAcrossTypes(t *testing.T) {
+	e := ExBinary{Op: "<", L: ExTerm{rdf.NewInteger(9)}, R: ExTerm{rdf.NewDecimal(9.5)}}
+	v, err := evalInCtx(t, e, Binding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := v.AsBool(); !b {
+		t.Fatal("9 < 9.5 should be true")
+	}
+}
+
+func TestLogicalOrWithErrorOperand(t *testing.T) {
+	// true || error = true per SPARQL.
+	e := ExBinary{Op: "||", L: ExTerm{rdf.NewBoolean(true)}, R: ExVar{Name: "missing"}}
+	v, err := evalInCtx(t, e, Binding{})
+	if err != nil {
+		t.Fatalf("true || error must not error: %v", err)
+	}
+	if b, _ := v.AsBool(); !b {
+		t.Fatal("want true")
+	}
+	// false || error = error.
+	e = ExBinary{Op: "||", L: ExTerm{rdf.NewBoolean(false)}, R: ExVar{Name: "missing"}}
+	if _, err := evalInCtx(t, e, Binding{}); err == nil {
+		t.Fatal("false || error must error")
+	}
+}
+
+func TestLogicalAndWithErrorOperand(t *testing.T) {
+	// false && error = false per SPARQL.
+	e := ExBinary{Op: "&&", L: ExTerm{rdf.NewBoolean(false)}, R: ExVar{Name: "missing"}}
+	v, err := evalInCtx(t, e, Binding{})
+	if err != nil {
+		t.Fatalf("false && error must not error: %v", err)
+	}
+	if b, _ := v.AsBool(); b {
+		t.Fatal("want false")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	e := ExBinary{Op: "+",
+		L: ExBinary{Op: "*", L: ExTerm{rdf.NewInteger(3)}, R: ExTerm{rdf.NewInteger(4)}},
+		R: ExTerm{rdf.NewInteger(1)}}
+	v, err := evalInCtx(t, e, Binding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.AsInt(); n != 13 {
+		t.Fatalf("3*4+1 = %v", v)
+	}
+	if v.Datatype != rdf.XSDInteger {
+		t.Fatalf("integer arithmetic should stay integer: %v", v)
+	}
+	div := ExBinary{Op: "/", L: ExTerm{rdf.NewInteger(1)}, R: ExTerm{rdf.NewInteger(0)}}
+	if _, err := evalInCtx(t, div, Binding{}); err == nil {
+		t.Fatal("division by zero must error")
+	}
+}
+
+func TestInExpression(t *testing.T) {
+	in := ExIn{
+		E: ExVar{Name: "c"},
+		List: []Expression{
+			ExTerm{rdf.NewIRI("http://c/vldb")},
+			ExTerm{rdf.NewIRI("http://c/sigmod")},
+		},
+	}
+	row := Binding{"c": rdf.NewIRI("http://c/vldb")}
+	v, err := evalInCtx(t, in, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := v.AsBool(); !b {
+		t.Fatal("IN should match")
+	}
+	in.Neg = true
+	v, _ = evalInCtx(t, in, row)
+	if b, _ := v.AsBool(); b {
+		t.Fatal("NOT IN should not match")
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	row := Binding{
+		"iri": rdf.NewIRI("http://ex/thing"),
+		"lit": rdf.NewLangLiteral("Hello", "en"),
+		"num": rdf.NewInteger(-5),
+	}
+	cases := []struct {
+		expr Expression
+		want string
+	}{
+		{ExCall{Name: "str", Args: []Expression{ExVar{"iri"}}}, `"http://ex/thing"`},
+		{ExCall{Name: "lang", Args: []Expression{ExVar{"lit"}}}, `"en"`},
+		{ExCall{Name: "ucase", Args: []Expression{ExVar{"lit"}}}, `"HELLO"`},
+		{ExCall{Name: "lcase", Args: []Expression{ExVar{"lit"}}}, `"hello"`},
+		{ExCall{Name: "strlen", Args: []Expression{ExVar{"lit"}}}, `"5"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{ExCall{Name: "abs", Args: []Expression{ExVar{"num"}}}, `"5"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{ExCall{Name: "isuri", Args: []Expression{ExVar{"iri"}}}, `"true"^^<http://www.w3.org/2001/XMLSchema#boolean>`},
+		{ExCall{Name: "isliteral", Args: []Expression{ExVar{"iri"}}}, `"false"^^<http://www.w3.org/2001/XMLSchema#boolean>`},
+		{ExCall{Name: "datatype", Args: []Expression{ExVar{"num"}}}, "<" + rdf.XSDInteger + ">"},
+	}
+	for _, c := range cases {
+		v, err := evalInCtx(t, c.expr, row)
+		if err != nil {
+			t.Errorf("%+v: %v", c.expr, err)
+			continue
+		}
+		if v.String() != c.want {
+			t.Errorf("%+v = %s, want %s", c.expr, v, c.want)
+		}
+	}
+}
+
+func TestBoundFunction(t *testing.T) {
+	row := Binding{"x": rdf.NewInteger(1)}
+	v, _ := evalInCtx(t, ExCall{Name: "bound", Args: []Expression{ExVar{"x"}}}, row)
+	if b, _ := v.AsBool(); !b {
+		t.Fatal("bound(?x) should be true")
+	}
+	v, _ = evalInCtx(t, ExCall{Name: "bound", Args: []Expression{ExVar{"y"}}}, row)
+	if b, _ := v.AsBool(); b {
+		t.Fatal("bound(?y) should be false")
+	}
+}
+
+func TestYearOfDateTimeCast(t *testing.T) {
+	// year(xsd:dateTime(?d)) — the paper's DBLP filter.
+	row := Binding{"d": rdf.NewTypedLiteral("2012-06-01", rdf.XSDDate)}
+	e := ExCall{Name: "year", Args: []Expression{
+		ExCall{Name: rdf.XSDDateTime, Args: []Expression{ExVar{"d"}}},
+	}}
+	v, err := evalInCtx(t, e, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.AsInt(); n != 2012 {
+		t.Fatalf("year = %v", v)
+	}
+}
+
+func TestRegexCaseInsensitiveFlag(t *testing.T) {
+	row := Binding{"s": rdf.NewLiteral("Hello World")}
+	e := ExCall{Name: "regex", Args: []Expression{
+		ExVar{"s"}, ExTerm{rdf.NewLiteral("hello")}, ExTerm{rdf.NewLiteral("i")},
+	}}
+	v, err := evalInCtx(t, e, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := v.AsBool(); !b {
+		t.Fatal("case-insensitive regex should match")
+	}
+}
+
+func TestInvalidRegexIsError(t *testing.T) {
+	row := Binding{"s": rdf.NewLiteral("x")}
+	e := ExCall{Name: "regex", Args: []Expression{ExVar{"s"}, ExTerm{rdf.NewLiteral("([")}}}
+	if _, err := evalInCtx(t, e, row); err == nil {
+		t.Fatal("invalid regex must error")
+	}
+}
+
+func TestContainsAggregate(t *testing.T) {
+	agg := ExAgg{Fn: "count", Star: true}
+	if !containsAggregate(ExBinary{Op: ">=", L: agg, R: ExTerm{rdf.NewInteger(5)}}) {
+		t.Fatal("aggregate in binary not detected")
+	}
+	if containsAggregate(ExVar{"x"}) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestAggregateSampleAndMinMaxOnStrings(t *testing.T) {
+	group := []Binding{
+		{"v": rdf.NewLiteral("b")},
+		{"v": rdf.NewLiteral("a")},
+		{"v": rdf.NewLiteral("c")},
+	}
+	ctx := &evalCtx{row: Binding{}, group: group}
+	min, err := evalExpr(ExAgg{Fn: "min", Arg: ExVar{"v"}}, ctx)
+	if err != nil || min.Value != "a" {
+		t.Fatalf("min = %v, %v", min, err)
+	}
+	max, _ := evalExpr(ExAgg{Fn: "max", Arg: ExVar{"v"}}, ctx)
+	if max.Value != "c" {
+		t.Fatalf("max = %v", max)
+	}
+	sample, _ := evalExpr(ExAgg{Fn: "sample", Arg: ExVar{"v"}}, ctx)
+	if sample.Value == "" {
+		t.Fatal("sample returned unbound")
+	}
+}

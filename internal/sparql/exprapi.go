@@ -1,0 +1,57 @@
+package sparql
+
+import (
+	"fmt"
+	"time"
+
+	"rdfframes/internal/rdf"
+)
+
+// ParseExpression parses a standalone SPARQL boolean/value expression, as
+// used in FILTER constraints, resolving prefixed names against prefixes
+// (nil allows only full IRIs). It exists so that the dataframe-side
+// baselines evaluate exactly the same condition language as the engine.
+func ParseExpression(src string, prefixes *rdf.PrefixMap) (Expression, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	if prefixes == nil {
+		prefixes = rdf.NewPrefixMap(nil)
+	}
+	p := &parser{toks: toks, prefixes: prefixes}
+	e, err := p.parseExpression()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sparql: trailing input after expression: %q", p.peek().text)
+	}
+	return e, nil
+}
+
+// EvalExpression evaluates an expression against a row of bindings.
+func EvalExpression(e Expression, row map[string]rdf.Term) (rdf.Term, error) {
+	return evalExpr(e, &evalCtx{row: Binding(row), cache: &regexCache{}})
+}
+
+// EvalCondition evaluates a boolean condition against a row; expression
+// errors yield false, matching FILTER semantics.
+func EvalCondition(e Expression, row map[string]rdf.Term) bool {
+	return evalBool(e, &evalCtx{row: Binding(row), cache: &regexCache{}})
+}
+
+// JoinBindings computes the SPARQL join of two solution multisets
+// (compatible mappings merged). Exported for the client-side baselines,
+// which must mirror the engine's join semantics exactly. A non-zero
+// deadline truncates the join once passed (callers must treat a passed
+// deadline as failure).
+func JoinBindings(left, right []Binding, deadline time.Time) []Binding {
+	return joinDeadline(left, right, deadline)
+}
+
+// LeftJoinBindings computes the SPARQL left outer join of two solution
+// multisets, honouring the same deadline contract as JoinBindings.
+func LeftJoinBindings(left, right []Binding, deadline time.Time) []Binding {
+	return leftJoinDeadline(left, right, deadline)
+}

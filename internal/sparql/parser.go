@@ -1,0 +1,735 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfframes/internal/rdf"
+)
+
+// Parse parses a SELECT query with an optional PREFIX prologue.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: rdf.NewPrefixMap(nil)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input %q", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks     []token
+	i        int
+	prefixes *rdf.PrefixMap
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) backup()     { p.i-- }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+// keyword reports whether the next token is the given case-insensitive bare
+// name and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokName && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) punct(s string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return p.errf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	for p.keyword("PREFIX") {
+		t := p.next()
+		if t.kind != tokPName || !strings.HasSuffix(t.text, ":") {
+			return nil, p.errf("expected prefix declaration, got %q", t.text)
+		}
+		prefix := strings.TrimSuffix(t.text, ":")
+		iri := p.next()
+		if iri.kind != tokIRI {
+			return nil, p.errf("expected namespace IRI after PREFIX %s:", prefix)
+		}
+		p.prefixes.Bind(prefix, iri.text)
+	}
+	return p.parseSelect()
+}
+
+func (p *parser) parseSelect() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	if p.keyword("DISTINCT") {
+		q.Distinct = true
+	}
+	if p.punct("*") {
+		q.Star = true
+	} else {
+		for {
+			t := p.peek()
+			if t.kind == tokVar {
+				p.next()
+				q.Items = append(q.Items, SelectItem{Var: t.text})
+				continue
+			}
+			if t.kind == tokPunct && t.text == "(" {
+				p.next()
+				expr, err := p.parseExpression()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AS"); err != nil {
+					return nil, err
+				}
+				v := p.next()
+				if v.kind != tokVar {
+					return nil, p.errf("expected variable after AS")
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				q.Items = append(q.Items, SelectItem{Var: v.text, Expr: expr})
+				continue
+			}
+			break
+		}
+		if len(q.Items) == 0 {
+			return nil, p.errf("SELECT requires * or at least one projection")
+		}
+	}
+	for p.keyword("FROM") {
+		g, err := p.parseIRIRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, g)
+	}
+	if p.keyword("WHERE") {
+		// WHERE keyword is optional in SPARQL; we accept both forms.
+	}
+	grp, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = grp
+	if err := p.parseModifiers(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseModifiers(q *Query) error {
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for p.peek().kind == tokVar {
+			q.GroupBy = append(q.GroupBy, p.next().text)
+		}
+		if len(q.GroupBy) == 0 {
+			return p.errf("GROUP BY requires at least one variable")
+		}
+	}
+	for p.keyword("HAVING") {
+		cond, err := p.parseConstraint()
+		if err != nil {
+			return err
+		}
+		q.Having = append(q.Having, cond)
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			var key OrderKey
+			switch {
+			case p.keyword("ASC"):
+				if err := p.expectPunct("("); err != nil {
+					return err
+				}
+				e, err := p.parseExpression()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				key = OrderKey{Expr: e}
+			case p.keyword("DESC"):
+				if err := p.expectPunct("("); err != nil {
+					return err
+				}
+				e, err := p.parseExpression()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				key = OrderKey{Expr: e, Desc: true}
+			case p.peek().kind == tokVar:
+				key = OrderKey{Expr: ExVar{Name: p.next().text}}
+			default:
+				if len(q.OrderBy) == 0 {
+					return p.errf("ORDER BY requires at least one key")
+				}
+				return p.parseLimitOffset(q)
+			}
+			q.OrderBy = append(q.OrderBy, key)
+		}
+	}
+	return p.parseLimitOffset(q)
+}
+
+func (p *parser) parseLimitOffset(q *Query) error {
+	for {
+		switch {
+		case p.keyword("LIMIT"):
+			t := p.next()
+			if t.kind != tokNumber {
+				return p.errf("expected number after LIMIT")
+			}
+			fmt.Sscan(t.text, &q.Limit)
+		case p.keyword("OFFSET"):
+			t := p.next()
+			if t.kind != tokNumber {
+				return p.errf("expected number after OFFSET")
+			}
+			fmt.Sscan(t.text, &q.Offset)
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseIRIRef() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIRI:
+		return t.text, nil
+	case tokPName:
+		iri, err := p.prefixes.Expand(t.text)
+		if err != nil {
+			return "", p.errf("%v", err)
+		}
+		return iri, nil
+	}
+	return "", p.errf("expected IRI, got %q", t.text)
+}
+
+// parseGroup parses '{' GroupGraphPattern '}'.
+func (p *parser) parseGroup() (*Group, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokPunct && t.text == "}":
+			p.next()
+			return g, nil
+		case t.kind == tokEOF:
+			return nil, p.errf("unterminated group graph pattern")
+		case t.kind == tokName && strings.EqualFold(t.text, "FILTER"):
+			p.next()
+			cond, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, FilterElem{Cond: cond})
+		case t.kind == tokName && strings.EqualFold(t.text, "BIND"):
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			expr, err := p.parseExpression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			v := p.next()
+			if v.kind != tokVar {
+				return nil, p.errf("expected variable in BIND")
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, BindElem{Expr: expr, Var: v.text})
+		case t.kind == tokName && strings.EqualFold(t.text, "OPTIONAL"):
+			p.next()
+			inner, err := p.parseGroupOrSubQuery()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, OptionalElem{Group: inner})
+		case t.kind == tokName && strings.EqualFold(t.text, "GRAPH"):
+			p.next()
+			uri, err := p.parseIRIRef()
+			if err != nil {
+				return nil, err
+			}
+			inner, err := p.parseGroupOrSubQuery()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, GraphElem{Graph: uri, Group: inner})
+		case t.kind == tokPunct && t.text == "{":
+			first, err := p.parseGroupOrSubQuery()
+			if err != nil {
+				return nil, err
+			}
+			if p.keywordUnion() {
+				branches := []*Group{first}
+				for {
+					b, err := p.parseGroupOrSubQuery()
+					if err != nil {
+						return nil, err
+					}
+					branches = append(branches, b)
+					if !p.keywordUnion() {
+						break
+					}
+				}
+				g.Elems = append(g.Elems, UnionElem{Branches: branches})
+			} else {
+				g.Elems = append(g.Elems, GroupElem{Group: first})
+			}
+		case t.kind == tokPunct && t.text == ".":
+			p.next() // stray separator
+		default:
+			if err := p.parseTriplesBlock(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (p *parser) keywordUnion() bool { return p.keyword("UNION") }
+
+// parseGroupOrSubQuery parses a braced group; if the group consists of a
+// single SELECT it becomes a subquery wrapped in a one-element group.
+func (p *parser) parseGroupOrSubQuery() (*Group, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokName && strings.EqualFold(t.text, "SELECT") {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return &Group{Elems: []Element{SubQueryElem{Query: q}}}, nil
+	}
+	p.backup() // rewind the '{' and reuse parseGroup
+	return p.parseGroup()
+}
+
+// parseTriplesBlock parses subject predicate-object lists with ';' and ','.
+func (p *parser) parseTriplesBlock(g *Group) error {
+	subj, err := p.parseNode()
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseVerb()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseNode()
+			if err != nil {
+				return err
+			}
+			g.Elems = append(g.Elems, BGPElem{Pattern: TriplePattern{S: subj, P: pred, O: obj}})
+			if !p.punct(",") {
+				break
+			}
+		}
+		if !p.punct(";") {
+			break
+		}
+		// Allow a dangling ';' before '.' or '}'.
+		if t := p.peek(); t.kind == tokPunct && (t.text == "." || t.text == "}") {
+			break
+		}
+	}
+	p.punct(".") // optional terminator before '}'
+	return nil
+}
+
+func (p *parser) parseVerb() (Node, error) {
+	if t := p.peek(); t.kind == tokName && t.text == "a" {
+		p.next()
+		return TermNode(rdf.NewIRI(rdf.RDFType)), nil
+	}
+	return p.parseNode()
+}
+
+// parseNode parses a term or variable usable in a triple pattern.
+func (p *parser) parseNode() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return Variable(t.text), nil
+	case tokIRI:
+		return TermNode(rdf.NewIRI(t.text)), nil
+	case tokPName:
+		iri, err := p.prefixes.Expand(t.text)
+		if err != nil {
+			return Node{}, p.errf("%v", err)
+		}
+		return TermNode(rdf.NewIRI(iri)), nil
+	case tokString:
+		return TermNode(p.parseLiteralTail(t.text)), nil
+	case tokNumber:
+		return TermNode(numberTerm(t.text)), nil
+	case tokName:
+		switch strings.ToLower(t.text) {
+		case "true":
+			return TermNode(rdf.NewBoolean(true)), nil
+		case "false":
+			return TermNode(rdf.NewBoolean(false)), nil
+		}
+	}
+	return Node{}, p.errf("expected term or variable, got %q", t.text)
+}
+
+// parseLiteralTail handles optional @lang or ^^datatype after a string.
+func (p *parser) parseLiteralTail(lex string) rdf.Term {
+	if p.punct("@") {
+		t := p.next()
+		return rdf.NewLangLiteral(lex, t.text)
+	}
+	if p.punct("^^") {
+		dt, err := p.parseIRIRef()
+		if err == nil {
+			return rdf.NewTypedLiteral(lex, dt)
+		}
+		p.backup()
+	}
+	return rdf.NewLiteral(lex)
+}
+
+func numberTerm(text string) rdf.Term {
+	if strings.Contains(text, ".") {
+		return rdf.NewTypedLiteral(text, rdf.XSDDecimal)
+	}
+	return rdf.NewTypedLiteral(text, rdf.XSDInteger)
+}
+
+// parseConstraint parses a FILTER/HAVING constraint: a parenthesized
+// expression or a bare function call like regex(...).
+func (p *parser) parseConstraint() (Expression, error) {
+	if t := p.peek(); t.kind == tokPunct && t.text == "(" {
+		p.next()
+		e, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parsePrimary()
+}
+
+// Expression precedence: || < && < relational/IN < additive < multiplicative
+// < unary < primary.
+
+func (p *parser) parseExpression() (Expression, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expression, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.punct("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = ExBinary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expression, error) {
+	l, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.punct("&&") {
+		r, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		l = ExBinary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseRelational() (Expression, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.punct(op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return ExBinary{Op: op, L: l, R: r}, nil
+		}
+	}
+	neg := false
+	if p.keyword("NOT") {
+		neg = true
+	}
+	if p.keyword("IN") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var list []Expression
+		if !p.punct(")") {
+			for {
+				e, err := p.parseExpression()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if !p.punct(",") {
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		return ExIn{E: l, List: list, Neg: neg}, nil
+	}
+	if neg {
+		return nil, p.errf("expected IN after NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expression, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.punct("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = ExBinary{Op: "+", L: l, R: r}
+		case p.punct("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = ExBinary{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expression, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.punct("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = ExBinary{Op: "*", L: l, R: r}
+		case p.punct("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = ExBinary{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expression, error) {
+	if p.punct("!") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return ExUnary{Op: "!", E: e}, nil
+	}
+	if p.punct("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return ExUnary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true, "sample": true,
+}
+
+var builtinNames = map[string]bool{
+	"regex": true, "str": true, "lang": true, "datatype": true, "bound": true,
+	"isiri": true, "isuri": true, "isliteral": true, "isblank": true,
+	"isnumeric": true, "strstarts": true, "strends": true, "contains": true,
+	"strlen": true, "lcase": true, "ucase": true, "abs": true, "year": true,
+}
+
+func (p *parser) parsePrimary() (Expression, error) {
+	t := p.next()
+	switch t.kind {
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.parseExpression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokVar:
+		return ExVar{Name: t.text}, nil
+	case tokString:
+		return ExTerm{Term: p.parseLiteralTail(t.text)}, nil
+	case tokNumber:
+		return ExTerm{Term: numberTerm(t.text)}, nil
+	case tokIRI:
+		if p.punct("(") {
+			return p.parseCallArgs(t.text)
+		}
+		return ExTerm{Term: rdf.NewIRI(t.text)}, nil
+	case tokPName:
+		iri, err := p.prefixes.Expand(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		if p.punct("(") {
+			return p.parseCallArgs(iri)
+		}
+		return ExTerm{Term: rdf.NewIRI(iri)}, nil
+	case tokName:
+		lower := strings.ToLower(t.text)
+		switch lower {
+		case "true":
+			return ExTerm{Term: rdf.NewBoolean(true)}, nil
+		case "false":
+			return ExTerm{Term: rdf.NewBoolean(false)}, nil
+		}
+		if aggregateNames[lower] {
+			return p.parseAggregate(lower)
+		}
+		if builtinNames[lower] {
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			return p.parseCallArgs(lower)
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseCallArgs(name string) (Expression, error) {
+	var args []Expression
+	if !p.punct(")") {
+		for {
+			e, err := p.parseExpression()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if !p.punct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	return ExCall{Name: name, Args: args}, nil
+}
+
+func (p *parser) parseAggregate(fn string) (Expression, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	agg := ExAgg{Fn: fn}
+	if p.keyword("DISTINCT") {
+		agg.Distinct = true
+	}
+	if p.punct("*") {
+		if fn != "count" {
+			return nil, p.errf("only COUNT accepts *")
+		}
+		agg.Star = true
+	} else {
+		e, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = e
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}

@@ -1,0 +1,275 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"rdfframes/internal/rdf"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseMinimalSelect(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?s ?p ?o . }`)
+	if !q.Star || len(q.Where.Elems) != 1 {
+		t.Fatalf("bad query: %+v", q)
+	}
+	bgp, ok := q.Where.Elems[0].(BGPElem)
+	if !ok {
+		t.Fatalf("want BGPElem, got %T", q.Where.Elems[0])
+	}
+	if !bgp.Pattern.S.IsVar || bgp.Pattern.S.Var != "s" {
+		t.Fatalf("subject: %+v", bgp.Pattern.S)
+	}
+}
+
+func TestParsePrefixesAndPNames(t *testing.T) {
+	q := mustParse(t, `
+PREFIX dbpp: <http://dbpedia.org/property/>
+SELECT ?movie ?actor WHERE { ?movie dbpp:starring ?actor }`)
+	bgp := q.Where.Elems[0].(BGPElem)
+	if bgp.Pattern.P.Term != rdf.NewIRI("http://dbpedia.org/property/starring") {
+		t.Fatalf("predicate = %v", bgp.Pattern.P.Term)
+	}
+	if len(q.Items) != 2 || q.Items[0].Var != "movie" {
+		t.Fatalf("items = %+v", q.Items)
+	}
+}
+
+func TestParseUnknownPrefixFails(t *testing.T) {
+	if _, err := Parse(`SELECT * WHERE { ?s nope:p ?o }`); err == nil {
+		t.Fatal("unknown prefix accepted")
+	}
+}
+
+func TestParseSemicolonCommaShorthand(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE {
+	  ?m <http://p/starring> ?a , ?b ;
+	     <http://p/title> ?t .
+	}`)
+	if n := len(q.Where.Elems); n != 3 {
+		t.Fatalf("got %d patterns, want 3", n)
+	}
+	last := q.Where.Elems[2].(BGPElem).Pattern
+	if last.S.Var != "m" || last.O.Var != "t" {
+		t.Fatalf("shorthand subject not carried: %v", last)
+	}
+}
+
+func TestParseFromAndWhere(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM <http://dbpedia.org> FROM <http://yago> WHERE { ?s ?p ?o }`)
+	if len(q.From) != 2 || q.From[0] != "http://dbpedia.org" {
+		t.Fatalf("From = %v", q.From)
+	}
+}
+
+func TestParseOptionalUnionGraph(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE {
+	  ?s <http://p/x> ?o .
+	  OPTIONAL { ?s <http://p/y> ?y }
+	  { ?s <http://p/a> ?a } UNION { ?s <http://p/b> ?b } UNION { ?s <http://p/c> ?c }
+	  GRAPH <http://g2> { ?s <http://p/z> ?z }
+	}`)
+	var haveOpt, haveGraph bool
+	var unionBranches int
+	for _, el := range q.Where.Elems {
+		switch e := el.(type) {
+		case OptionalElem:
+			haveOpt = true
+		case UnionElem:
+			unionBranches = len(e.Branches)
+		case GraphElem:
+			haveGraph = e.Graph == "http://g2"
+		}
+	}
+	if !haveOpt || unionBranches != 3 || !haveGraph {
+		t.Fatalf("opt=%v union=%d graph=%v", haveOpt, unionBranches, haveGraph)
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE {
+	  ?m <http://p/starring> ?a
+	  { SELECT DISTINCT ?a (COUNT(DISTINCT ?m) AS ?cnt)
+	    WHERE { ?m <http://p/starring> ?a }
+	    GROUP BY ?a
+	    HAVING ( COUNT(DISTINCT ?m) >= 50 )
+	  }
+	}`)
+	var sub *Query
+	for _, el := range q.Where.Elems {
+		if g, ok := el.(GroupElem); ok {
+			if sq, ok := g.Group.Elems[0].(SubQueryElem); ok {
+				sub = sq.Query
+			}
+		}
+		if sq, ok := el.(SubQueryElem); ok {
+			sub = sq.Query
+		}
+	}
+	if sub == nil {
+		t.Fatal("no subquery found")
+	}
+	if !sub.Distinct || len(sub.GroupBy) != 1 || len(sub.Having) != 1 {
+		t.Fatalf("subquery = %+v", sub)
+	}
+	agg, ok := sub.Items[1].Expr.(ExAgg)
+	if !ok || agg.Fn != "count" || !agg.Distinct {
+		t.Fatalf("aggregate item = %+v", sub.Items[1])
+	}
+}
+
+func TestParseModifiers(t *testing.T) {
+	q := mustParse(t, `SELECT ?s WHERE { ?s ?p ?o }
+	  ORDER BY DESC(?s) ?p LIMIT 10 OFFSET 5`)
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", q.OrderBy)
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Fatalf("limit=%d offset=%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseFilterExpressions(t *testing.T) {
+	q := mustParse(t, `PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+	SELECT * WHERE {
+	  ?s <http://p/d> ?date ; <http://p/c> ?conf .
+	  FILTER ( ( year(xsd:dateTime(?date)) >= 2005 ) && ( ?conf IN (<http://c/vldb>, <http://c/sigmod>) ) )
+	  FILTER regex(str(?s), "USA")
+	  FILTER ( !isLiteral(?s) || ?x + 2 * 3 < 10 )
+	}`)
+	nFilters := 0
+	for _, el := range q.Where.Elems {
+		if _, ok := el.(FilterElem); ok {
+			nFilters++
+		}
+	}
+	if nFilters != 3 {
+		t.Fatalf("filters = %d, want 3", nFilters)
+	}
+}
+
+func TestParseBind(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?s ?p ?o BIND(?o AS ?renamed) }`)
+	found := false
+	for _, el := range q.Where.Elems {
+		if b, ok := el.(BindElem); ok && b.Var == "renamed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("BIND not parsed")
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	q := mustParse(t, `SELECT ?x WHERE { ?x a <http://ex/Class> }`)
+	bgp := q.Where.Elems[0].(BGPElem)
+	if bgp.Pattern.P.Term != rdf.NewIRI(rdf.RDFType) {
+		t.Fatalf("a != rdf:type: %v", bgp.Pattern.P)
+	}
+}
+
+func TestParseLiteralForms(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE {
+	  ?s <http://p/a> "plain" .
+	  ?s <http://p/b> "tagged"@en .
+	  ?s <http://p/c> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+	  ?s <http://p/d> 7 .
+	  ?s <http://p/e> 2.5 .
+	  ?s <http://p/f> true .
+	}`)
+	objs := []rdf.Term{}
+	for _, el := range q.Where.Elems {
+		objs = append(objs, el.(BGPElem).Pattern.O.Term)
+	}
+	want := []rdf.Term{
+		rdf.NewLiteral("plain"),
+		rdf.NewLangLiteral("tagged", "en"),
+		rdf.NewInteger(42),
+		rdf.NewInteger(7),
+		rdf.NewTypedLiteral("2.5", rdf.XSDDecimal),
+		rdf.NewBoolean(true),
+	}
+	for i := range want {
+		if objs[i] != want[i] {
+			t.Errorf("literal %d = %v, want %v", i, objs[i], want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT WHERE { ?s ?p ?o }`,
+		`SELECT * WHERE { ?s ?p }`,
+		`SELECT * WHERE { ?s ?p ?o`,
+		`SELECT * WHERE { ?s ?p ?o } GROUP BY`,
+		`SELECT * WHERE { FILTER }`,
+		`SELECT * WHERE { ?s ?p ?o } LIMIT abc`,
+		`SELECT * WHERE { ?s ?p ?o } trailing`,
+		`SELECT (COUNT(?x) AS) WHERE { ?s ?p ?o }`,
+		`SELECT (SUM(*) AS ?x) WHERE { ?s ?p ?o }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q := mustParse(t, `select distinct ?s where { ?s ?p ?o } order by ?s limit 1`)
+	if !q.Distinct || q.Limit != 1 || len(q.OrderBy) != 1 {
+		t.Fatalf("lowercase keywords not handled: %+v", q)
+	}
+}
+
+func TestParseListing2Shape(t *testing.T) {
+	// The expert query of the paper's motivating example (Listing 2).
+	src := `
+PREFIX dbpp: <http://dbpedia.org/property/>
+PREFIX dbpr: <http://dbpedia.org/resource/>
+SELECT *
+FROM <http://dbpedia.org>
+WHERE
+{ ?movie dbpp:starring ?actor
+  { SELECT DISTINCT ?actor (COUNT(DISTINCT ?movie) AS ?movie_count)
+    WHERE
+    { ?movie dbpp:starring ?actor .
+      ?actor dbpp:birthPlace ?actor_country
+      FILTER ( ?actor_country = dbpr:United_States )
+    }
+    GROUP BY ?actor
+    HAVING ( COUNT(DISTINCT ?movie) >= 50 )
+  }
+  OPTIONAL
+  { ?actor dbpp:academyAward ?award }
+}`
+	q := mustParse(t, src)
+	if len(q.From) != 1 || !strings.Contains(q.From[0], "dbpedia") {
+		t.Fatalf("FROM = %v", q.From)
+	}
+	kinds := make([]string, 0, len(q.Where.Elems))
+	for _, el := range q.Where.Elems {
+		switch el.(type) {
+		case BGPElem:
+			kinds = append(kinds, "bgp")
+		case GroupElem:
+			kinds = append(kinds, "group")
+		case OptionalElem:
+			kinds = append(kinds, "optional")
+		}
+	}
+	if len(kinds) != 3 || kinds[0] != "bgp" || kinds[1] != "group" || kinds[2] != "optional" {
+		t.Fatalf("element kinds = %v", kinds)
+	}
+}

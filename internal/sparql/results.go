@@ -1,0 +1,152 @@
+package sparql
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rdfframes/internal/rdf"
+)
+
+// Results is a SPARQL SELECT result: an ordered variable list and a bag of
+// rows. Unbound cells are zero Terms.
+type Results struct {
+	Vars []string
+	Rows [][]rdf.Term
+}
+
+// Len returns the number of rows.
+func (r *Results) Len() int { return len(r.Rows) }
+
+// bindings converts rows back to Binding maps (bound cells only).
+func (r *Results) bindings() []Binding {
+	out := make([]Binding, len(r.Rows))
+	for i, row := range r.Rows {
+		b := make(Binding, len(r.Vars))
+		for j, v := range r.Vars {
+			if row[j].IsBound() {
+				b[v] = row[j]
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// jsonResults mirrors the W3C "SPARQL 1.1 Query Results JSON Format".
+type jsonResults struct {
+	Head struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Results struct {
+		Bindings []map[string]jsonTerm `json:"bindings"`
+	} `json:"results"`
+}
+
+type jsonTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+// MarshalJSON encodes the results in the SPARQL JSON results format.
+func (r *Results) MarshalJSON() ([]byte, error) {
+	var jr jsonResults
+	jr.Head.Vars = r.Vars
+	if jr.Head.Vars == nil {
+		jr.Head.Vars = []string{}
+	}
+	jr.Results.Bindings = make([]map[string]jsonTerm, len(r.Rows))
+	for i, row := range r.Rows {
+		m := make(map[string]jsonTerm, len(r.Vars))
+		for j, v := range r.Vars {
+			t := row[j]
+			if !t.IsBound() {
+				continue
+			}
+			m[v] = encodeTerm(t)
+		}
+		jr.Results.Bindings[i] = m
+	}
+	return json.Marshal(jr)
+}
+
+// UnmarshalJSON decodes the SPARQL JSON results format.
+func (r *Results) UnmarshalJSON(data []byte) error {
+	var jr jsonResults
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return err
+	}
+	r.Vars = jr.Head.Vars
+	r.Rows = make([][]rdf.Term, len(jr.Results.Bindings))
+	for i, b := range jr.Results.Bindings {
+		row := make([]rdf.Term, len(r.Vars))
+		for j, v := range r.Vars {
+			jt, ok := b[v]
+			if !ok {
+				continue
+			}
+			t, err := decodeTerm(jt)
+			if err != nil {
+				return fmt.Errorf("sparql: row %d var %s: %w", i, v, err)
+			}
+			row[j] = t
+		}
+		r.Rows[i] = row
+	}
+	return nil
+}
+
+func encodeTerm(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRIKind:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.BlankKind:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+	}
+}
+
+func decodeTerm(jt jsonTerm) (rdf.Term, error) {
+	switch jt.Type {
+	case "uri":
+		return rdf.NewIRI(jt.Value), nil
+	case "bnode":
+		return rdf.NewBlank(jt.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case jt.Lang != "":
+			return rdf.NewLangLiteral(jt.Value, jt.Lang), nil
+		case jt.Datatype != "":
+			return rdf.NewTypedLiteral(jt.Value, jt.Datatype), nil
+		default:
+			return rdf.NewLiteral(jt.Value), nil
+		}
+	}
+	return rdf.Term{}, fmt.Errorf("unknown term type %q", jt.Type)
+}
+
+// WriteJSON streams the results as SPARQL JSON to w.
+func (r *Results) WriteJSON(w io.Writer) error {
+	data, err := r.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSON parses SPARQL JSON results from rd.
+func ReadJSON(rd io.Reader) (*Results, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	var r Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

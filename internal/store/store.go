@@ -1,0 +1,455 @@
+// Package store implements an in-memory RDF quad store: a dictionary that
+// encodes terms as dense integer ids plus per-graph triple indexes (SPO, POS,
+// OSP) that answer every triple-pattern access path the SPARQL evaluator
+// needs. The store is the substitute for the paper's Virtuoso engine.
+//
+// The store is safe for concurrent readers once loading has finished; loads
+// and queries must not be interleaved.
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rdfframes/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. 0 is never assigned.
+type ID uint32
+
+// Dictionary interns terms to dense ids and back.
+type Dictionary struct {
+	byTerm map[rdf.Term]ID
+	byID   []rdf.Term // byID[0] is a placeholder; ids start at 1
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{
+		byTerm: make(map[rdf.Term]ID, 1024),
+		byID:   make([]rdf.Term, 1, 1024),
+	}
+}
+
+// Encode interns t, returning its id (allocating one if new).
+func (d *Dictionary) Encode(t rdf.Term) ID {
+	if id, ok := d.byTerm[t]; ok {
+		return id
+	}
+	id := ID(len(d.byID))
+	d.byTerm[t] = id
+	d.byID = append(d.byID, t)
+	return id
+}
+
+// Lookup returns the id of t if it is already interned.
+func (d *Dictionary) Lookup(t rdf.Term) (ID, bool) {
+	id, ok := d.byTerm[t]
+	return id, ok
+}
+
+// Decode returns the term for id. It panics on an id the dictionary never
+// issued, which would indicate store corruption.
+func (d *Dictionary) Decode(id ID) rdf.Term {
+	if id == 0 || int(id) >= len(d.byID) {
+		panic(fmt.Sprintf("store: decode of unknown id %d", id))
+	}
+	return d.byID[id]
+}
+
+// Len returns the number of interned terms.
+func (d *Dictionary) Len() int { return len(d.byID) - 1 }
+
+// IDTriple is a dictionary-encoded triple.
+type IDTriple struct {
+	S, P, O ID
+}
+
+// Graph is one named graph: an indexed set of encoded triples. Iteration
+// over any access path is deterministic (insertion order or sorted keys) so
+// that repeated queries return rows in the same order, which the client's
+// LIMIT/OFFSET pagination relies on.
+type Graph struct {
+	spo    map[ID]map[ID][]ID // subject -> predicate -> objects
+	pos    map[ID]map[ID][]ID // predicate -> object -> subjects
+	osp    map[ID]map[ID][]ID // object -> subject -> predicates
+	byPred map[ID][]IDTriple  // predicate -> triples in insertion order
+	all    []IDTriple         // every triple in insertion order
+	n      int
+}
+
+func newGraph() *Graph {
+	return &Graph{
+		spo:    make(map[ID]map[ID][]ID),
+		pos:    make(map[ID]map[ID][]ID),
+		osp:    make(map[ID]map[ID][]ID),
+		byPred: make(map[ID][]IDTriple),
+	}
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return g.n }
+
+func (g *Graph) add(t IDTriple) {
+	if idxContains(g.spo, t.S, t.P, t.O) {
+		return
+	}
+	idxAdd(g.spo, t.S, t.P, t.O)
+	idxAdd(g.pos, t.P, t.O, t.S)
+	idxAdd(g.osp, t.O, t.S, t.P)
+	g.byPred[t.P] = append(g.byPred[t.P], t)
+	g.all = append(g.all, t)
+	g.n++
+}
+
+func idxAdd(m map[ID]map[ID][]ID, a, b, c ID) {
+	inner, ok := m[a]
+	if !ok {
+		inner = make(map[ID][]ID)
+		m[a] = inner
+	}
+	inner[b] = append(inner[b], c)
+}
+
+func idxContains(m map[ID]map[ID][]ID, a, b, c ID) bool {
+	inner, ok := m[a]
+	if !ok {
+		return false
+	}
+	for _, v := range inner[b] {
+		if v == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Store holds a dictionary and a set of named graphs.
+type Store struct {
+	dict   *Dictionary
+	graphs map[string]*Graph
+	order  []string // graph URIs in insertion order
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{dict: NewDictionary(), graphs: make(map[string]*Graph)}
+}
+
+// Dict exposes the store's dictionary.
+func (s *Store) Dict() *Dictionary { return s.dict }
+
+// Graph returns the named graph, or nil if absent.
+func (s *Store) Graph(uri string) *Graph { return s.graphs[uri] }
+
+// GraphURIs returns all graph URIs in insertion order.
+func (s *Store) GraphURIs() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// ensureGraph returns the graph for uri, creating it if needed.
+func (s *Store) ensureGraph(uri string) *Graph {
+	g, ok := s.graphs[uri]
+	if !ok {
+		g = newGraph()
+		s.graphs[uri] = g
+		s.order = append(s.order, uri)
+	}
+	return g
+}
+
+// Add inserts one triple into the named graph (duplicates are ignored,
+// matching RDF set semantics for a graph).
+func (s *Store) Add(graphURI string, t rdf.Triple) error {
+	if !t.Valid() {
+		return fmt.Errorf("store: invalid triple %s", t)
+	}
+	g := s.ensureGraph(graphURI)
+	g.add(IDTriple{s.dict.Encode(t.S), s.dict.Encode(t.P), s.dict.Encode(t.O)})
+	return nil
+}
+
+// AddAll inserts all triples into the named graph.
+func (s *Store) AddAll(graphURI string, triples []rdf.Triple) error {
+	for _, t := range triples {
+		if err := s.Add(graphURI, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadNTriples parses an N-Triples document from r into the named graph and
+// returns the number of triples loaded.
+func (s *Store) LoadNTriples(graphURI string, r io.Reader) (int, error) {
+	nr := rdf.NewNTriplesReader(r)
+	n := 0
+	for {
+		t, err := nr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := s.Add(graphURI, t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// LoadTurtle parses a Turtle document from r into the named graph and
+// returns the number of triples loaded.
+func (s *Store) LoadTurtle(graphURI string, r io.Reader) (int, error) {
+	tr := rdf.NewTurtleReader(r)
+	n := 0
+	for {
+		t, err := tr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := s.Add(graphURI, t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Len returns the total number of triples across all graphs.
+func (s *Store) Len() int {
+	n := 0
+	for _, g := range s.graphs {
+		n += g.Len()
+	}
+	return n
+}
+
+// Match streams every triple in the named graph matching the pattern, where
+// a zero (unbound) ID matches anything. The callback returns false to stop.
+// Graphs absent from the store match nothing.
+func (s *Store) Match(graphURI string, pat IDTriple, yield func(IDTriple) bool) {
+	g := s.graphs[graphURI]
+	if g == nil {
+		return
+	}
+	g.Match(pat, yield)
+}
+
+// MatchAny streams matches from each of the given graphs in order. An empty
+// graph list matches across all graphs in the store.
+func (s *Store) MatchAny(graphURIs []string, pat IDTriple, yield func(IDTriple) bool) {
+	if len(graphURIs) == 0 {
+		graphURIs = s.order
+	}
+	stopped := false
+	for _, uri := range graphURIs {
+		if stopped {
+			return
+		}
+		s.Match(uri, pat, func(t IDTriple) bool {
+			if !yield(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Match streams every triple in the graph matching the pattern, where a zero
+// ID is a wildcard. The callback returns false to stop iteration.
+func (g *Graph) Match(pat IDTriple, yield func(IDTriple) bool) {
+	switch {
+	case pat.S != 0 && pat.P != 0 && pat.O != 0:
+		if idxContains(g.spo, pat.S, pat.P, pat.O) {
+			yield(pat)
+		}
+	case pat.S != 0 && pat.P != 0:
+		for _, o := range g.spo[pat.S][pat.P] {
+			if !yield(IDTriple{pat.S, pat.P, o}) {
+				return
+			}
+		}
+	case pat.P != 0 && pat.O != 0:
+		for _, sub := range g.pos[pat.P][pat.O] {
+			if !yield(IDTriple{sub, pat.P, pat.O}) {
+				return
+			}
+		}
+	case pat.S != 0 && pat.O != 0:
+		for _, p := range g.osp[pat.O][pat.S] {
+			if !yield(IDTriple{pat.S, p, pat.O}) {
+				return
+			}
+		}
+	case pat.S != 0:
+		for _, p := range sortedKeys(g.spo[pat.S]) {
+			for _, o := range g.spo[pat.S][p] {
+				if !yield(IDTriple{pat.S, p, o}) {
+					return
+				}
+			}
+		}
+	case pat.P != 0:
+		for _, t := range g.byPred[pat.P] {
+			if !yield(t) {
+				return
+			}
+		}
+	case pat.O != 0:
+		for _, sub := range sortedKeys(g.osp[pat.O]) {
+			for _, p := range g.osp[pat.O][sub] {
+				if !yield(IDTriple{sub, p, pat.O}) {
+					return
+				}
+			}
+		}
+	default:
+		for _, t := range g.all {
+			if !yield(t) {
+				return
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[ID][]ID) []ID {
+	keys := make([]ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Count returns the number of triples in the graph matching the pattern.
+func (g *Graph) Count(pat IDTriple) int {
+	n := 0
+	g.Match(pat, func(IDTriple) bool { n++; return true })
+	return n
+}
+
+// Cardinality estimates the number of matches for pat cheaply, for join
+// ordering. It is exact for the access paths the indexes cover directly and
+// an upper bound otherwise.
+func (g *Graph) Cardinality(pat IDTriple) int {
+	switch {
+	case pat.S != 0 && pat.P != 0 && pat.O != 0:
+		if idxContains(g.spo, pat.S, pat.P, pat.O) {
+			return 1
+		}
+		return 0
+	case pat.S != 0 && pat.P != 0:
+		return len(g.spo[pat.S][pat.P])
+	case pat.P != 0 && pat.O != 0:
+		return len(g.pos[pat.P][pat.O])
+	case pat.S != 0 && pat.O != 0:
+		return len(g.osp[pat.O][pat.S])
+	case pat.S != 0:
+		n := 0
+		for _, objs := range g.spo[pat.S] {
+			n += len(objs)
+		}
+		return n
+	case pat.P != 0:
+		n := 0
+		for _, subs := range g.pos[pat.P] {
+			n += len(subs)
+		}
+		return n
+	case pat.O != 0:
+		n := 0
+		for _, preds := range g.osp[pat.O] {
+			n += len(preds)
+		}
+		return n
+	default:
+		return g.n
+	}
+}
+
+// Cardinality sums the estimate over the given graphs (all graphs if empty).
+func (s *Store) Cardinality(graphURIs []string, pat IDTriple) int {
+	if len(graphURIs) == 0 {
+		graphURIs = s.order
+	}
+	n := 0
+	for _, uri := range graphURIs {
+		if g := s.graphs[uri]; g != nil {
+			n += g.Cardinality(pat)
+		}
+	}
+	return n
+}
+
+// ClassCount is an entry in a class distribution: an entity class and the
+// number of instances typed with it.
+type ClassCount struct {
+	Class rdf.Term
+	Count int
+}
+
+// Classes returns the rdf:type class distribution of the named graph sorted
+// by descending count, supporting the paper's exploration operators.
+func (s *Store) Classes(graphURI string) []ClassCount {
+	g := s.graphs[graphURI]
+	if g == nil {
+		return nil
+	}
+	typeID, ok := s.dict.Lookup(rdf.NewIRI(rdf.RDFType))
+	if !ok {
+		return nil
+	}
+	var out []ClassCount
+	for o, subs := range g.pos[typeID] {
+		out = append(out, ClassCount{Class: s.dict.Decode(o), Count: len(subs)})
+	}
+	sortClassCounts(out)
+	return out
+}
+
+// PredicateCount is an entry in a predicate distribution.
+type PredicateCount struct {
+	Predicate rdf.Term
+	Count     int
+}
+
+// Predicates returns the predicate usage distribution of the named graph
+// sorted by descending count.
+func (s *Store) Predicates(graphURI string) []PredicateCount {
+	g := s.graphs[graphURI]
+	if g == nil {
+		return nil
+	}
+	var out []PredicateCount
+	for p, objs := range g.pos {
+		n := 0
+		for _, subs := range objs {
+			n += len(subs)
+		}
+		out = append(out, PredicateCount{Predicate: s.dict.Decode(p), Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Predicate.Value < out[j].Predicate.Value
+	})
+	return out
+}
+
+func sortClassCounts(cc []ClassCount) {
+	sort.Slice(cc, func(i, j int) bool {
+		if cc[i].Count != cc[j].Count {
+			return cc[i].Count > cc[j].Count
+		}
+		return cc[i].Class.Value < cc[j].Class.Value
+	})
+}
