@@ -31,6 +31,7 @@ func main() {
 		figFlag   = flag.String("fig", "3,4,5", "comma-separated figures to run")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
 		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
+		out       = flag.String("out", "", "also write measurements as JSON to this file (e.g. BENCH_sparql.json)")
 	)
 	flag.Parse()
 
@@ -67,23 +68,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "all approaches agree on all tasks")
 	}
 
+	report := &bench.JSONReport{Scale: *scaleFlag}
 	for _, fig := range strings.Split(*figFlag, ",") {
 		switch strings.TrimSpace(fig) {
 		case "3":
 			rows := bench.RunFigure3(env, *timeout)
+			report.Add("3", rows)
 			fmt.Println(bench.FormatFigure(
 				"Figure 3: evaluating the design of RDFFrames (case studies, seconds)",
 				rows, []bench.Approach{bench.Naive, bench.NavPandas, bench.RDFFrames}))
 		case "4":
 			rows := bench.RunFigure4(env, *timeout)
+			report.Add("4", rows)
 			fmt.Println(bench.FormatFigure(
 				"Figure 4: comparing RDFFrames to alternative baselines (case studies, seconds)",
 				rows, []bench.Approach{bench.ScanPandas, bench.SPARQLPandas, bench.Expert, bench.RDFFrames}))
 		case "5":
 			rows := bench.RunFigure5(env, *timeout)
+			report.Add("5", rows)
 			fmt.Println(bench.FormatFigure5(rows))
 		default:
 			log.Fatalf("unknown figure %q", fig)
 		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
 }

@@ -1,0 +1,3 @@
+module rdfframes
+
+go 1.24

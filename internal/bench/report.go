@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -138,6 +140,58 @@ func FormatFigure5(rows []FigureRow) string {
 		fmt.Fprintf(&sb, "%-6s %12.4f %14s %15.2fx\n", l.task, l.expert, naive, l.rfRatio)
 	}
 	return sb.String()
+}
+
+// JSONMeasurement is one timed run in the machine-readable report.
+type JSONMeasurement struct {
+	Figure   string  `json:"figure"`
+	Task     string  `json:"task"`
+	Approach string  `json:"approach"`
+	Seconds  float64 `json:"seconds"`
+	Rows     int     `json:"rows"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// JSONReport is the machine-readable benchmark record benchrunner emits
+// (BENCH_sparql.json), for tracking engine performance across changes.
+type JSONReport struct {
+	Scale        string            `json:"scale"`
+	Measurements []JSONMeasurement `json:"measurements"`
+}
+
+// Add appends every measurement of the figure's rows to the report.
+func (r *JSONReport) Add(figure string, rows []FigureRow) {
+	for _, row := range rows {
+		for _, a := range measurementOrder(approachesOf(row)) {
+			m := row.Measurements[a]
+			jm := JSONMeasurement{
+				Figure:   figure,
+				Task:     m.Task,
+				Approach: string(m.Approach),
+				Seconds:  m.Duration.Seconds(),
+				Rows:     m.Rows,
+			}
+			if m.Err != nil {
+				jm.Error = m.Err.Error()
+			}
+			r.Measurements = append(r.Measurements, jm)
+		}
+	}
+}
+
+func approachesOf(row FigureRow) []Approach {
+	out := make([]Approach, 0, len(row.Measurements))
+	for a := range row.Measurements {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Write emits the report as indented JSON.
+func (r *JSONReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // VerifyTask checks that every approach produces the same bag of rows over

@@ -4,6 +4,11 @@
 // grouping/aggregation with HAVING, solution modifiers, and the SPARQL JSON
 // results format. It provides a lexer, a recursive-descent parser, and a
 // bag-semantics evaluator over the triple store with greedy join ordering.
+//
+// The evaluator runs in dictionary-id space: solutions are columnar batches
+// of store ids, joins and DISTINCT/GROUP BY key on id tuples, and terms are
+// decoded only for expression evaluation and the final projection. See
+// PERFORMANCE.md at the repository root for the execution model.
 package sparql
 
 import (

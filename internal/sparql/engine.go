@@ -40,6 +40,7 @@ func (e *Engine) Query(src string) (*Results, error) {
 func (e *Engine) Eval(q *Query) (*Results, error) {
 	ev := &evaluator{
 		store:           e.Store,
+		dict:            newEvalDict(e.Store.Dict()),
 		cache:           &regexCache{},
 		disableReorder:  e.DisableReorder,
 		disablePushdown: e.DisablePushdown,

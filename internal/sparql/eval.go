@@ -4,29 +4,21 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"time"
 
 	"rdfframes/internal/rdf"
 	"rdfframes/internal/store"
 )
 
-// Binding maps variable names to terms. Absent variables are unbound.
-type Binding map[string]rdf.Term
-
-func (b Binding) clone() Binding {
-	c := make(Binding, len(b)+2)
-	for k, v := range b {
-		c[k] = v
-	}
-	return c
-}
-
 // ErrTimeout is returned when a query exceeds the engine's deadline.
 var ErrTimeout = fmt.Errorf("sparql: query timeout")
 
+// evaluator executes one query. Solutions flow through it as columnar id
+// batches (idRows); rdf.Term values appear only at the expression and
+// final-projection boundaries, via the evaluator's evalDict.
 type evaluator struct {
 	store           *store.Store
+	dict            *evalDict
 	deadline        time.Time
 	steps           int
 	cache           *regexCache
@@ -50,9 +42,36 @@ func (ev *evaluator) tick() error {
 	return nil
 }
 
-// evalQuery evaluates a query against the given default graphs and returns
-// its projected solutions.
+// rowCtx returns an expression context whose row is a mutable view into
+// rows; set view.idx before each evaluation.
+func (ev *evaluator) rowCtx(rows *idRows) (*evalCtx, *idRowView) {
+	view := &idRowView{rows: rows, dict: ev.dict}
+	return &evalCtx{row: view, dict: ev.dict, cache: ev.cache}, view
+}
+
+// evalQuery evaluates a query against the given default graphs and decodes
+// its projected solutions into terms.
 func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, error) {
+	sols, err := ev.evalQueryRows(q, defaultGraphs)
+	if err != nil {
+		return nil, err
+	}
+	vars := append([]string(nil), sols.vars...)
+	rows := make([][]rdf.Term, sols.n)
+	for i := 0; i < sols.n; i++ {
+		src := sols.row(i)
+		r := make([]rdf.Term, len(vars))
+		for j, id := range src {
+			r[j] = ev.dict.decode(id)
+		}
+		rows[i] = r
+	}
+	return &Results{Vars: vars, Rows: rows}, nil
+}
+
+// evalQueryRows evaluates a query and returns its projected solutions still
+// in id space (the representation subqueries join on).
+func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string) (*idRows, error) {
 	graphs := defaultGraphs
 	if len(q.From) > 0 {
 		graphs = q.From
@@ -62,7 +81,6 @@ func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, erro
 		return nil, err
 	}
 
-	var vars []string
 	switch {
 	case q.HasAggregates():
 		if q.Star {
@@ -72,23 +90,22 @@ func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, erro
 		if err != nil {
 			return nil, err
 		}
-		vars = q.projectedVars()
 	default:
 		// Extend with computed projections (expr AS ?var).
 		for _, it := range q.Items {
 			if it.Expr == nil {
 				continue
 			}
-			for i, row := range sols {
-				v, err := evalExpr(it.Expr, &evalCtx{row: row, cache: ev.cache})
-				nr := row.clone()
+			col := sols.ensureCol(it.Var)
+			ctx, view := ev.rowCtx(sols)
+			for i := 0; i < sols.n; i++ {
+				view.idx = i
+				v, err := evalExpr(it.Expr, ctx)
 				if err == nil {
-					nr[it.Var] = v
+					sols.set(i, col, ev.dict.encode(v))
 				}
-				sols[i] = nr
 			}
 		}
-		vars = q.projectedVars()
 	}
 
 	if len(q.OrderBy) > 0 {
@@ -97,77 +114,114 @@ func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, erro
 		}
 	}
 
-	rows := make([][]rdf.Term, len(sols))
-	for i, row := range sols {
-		r := make([]rdf.Term, len(vars))
-		for j, v := range vars {
-			r[j] = row[v]
-		}
-		rows[i] = r
-	}
+	proj := sols.project(q.projectedVars())
 	if q.Distinct {
-		rows = distinctRows(rows)
+		proj.distinct()
 	}
+	lo, hi := 0, proj.n
 	if q.Offset > 0 {
-		if q.Offset >= len(rows) {
-			rows = nil
+		if q.Offset >= hi {
+			lo = hi
 		} else {
-			rows = rows[q.Offset:]
+			lo = q.Offset
 		}
 	}
-	if q.Limit >= 0 && q.Limit < len(rows) {
-		rows = rows[:q.Limit]
+	if q.Limit >= 0 && lo+q.Limit < hi {
+		hi = lo + q.Limit
 	}
-	return &Results{Vars: vars, Rows: rows}, nil
+	if lo != 0 || hi != proj.n {
+		proj.sliceRows(lo, hi)
+	}
+	return proj, nil
 }
 
-func (ev *evaluator) aggregate(q *Query, sols []Binding) ([]Binding, error) {
-	type groupEntry struct {
-		key  string
-		rows []Binding
-	}
+func (ev *evaluator) aggregate(q *Query, sols *idRows) (*idRows, error) {
+	type groupEntry struct{ rows []int }
 	var groups []*groupEntry
+	cols := make([]int, len(q.GroupBy)) // -1 when the var never bound
+	for j, v := range q.GroupBy {
+		if c, ok := sols.col(v); ok {
+			cols[j] = c
+		} else {
+			cols[j] = -1
+		}
+	}
 	if len(q.GroupBy) == 0 {
 		// Implicit single group; non-nil rows so aggregates see a group
 		// context even when the pattern matched nothing (COUNT()=0).
-		rows := sols
-		if rows == nil {
-			rows = []Binding{}
+		ge := &groupEntry{rows: make([]int, sols.n)}
+		for i := range ge.rows {
+			ge.rows[i] = i
 		}
-		groups = []*groupEntry{{rows: rows}}
+		groups = []*groupEntry{ge}
 	} else {
 		index := map[string]*groupEntry{}
-		for _, row := range sols {
-			var sb strings.Builder
-			for _, v := range q.GroupBy {
-				sb.WriteString(row[v].String())
-				sb.WriteByte('\x00')
+		var kb []byte
+		keyIDs := make([]store.ID, len(cols))
+		for i := 0; i < sols.n; i++ {
+			for j, c := range cols {
+				keyIDs[j] = 0
+				if c >= 0 {
+					keyIDs[j] = sols.at(i, c)
+				}
 			}
-			k := sb.String()
-			ge, ok := index[k]
+			kb = appendIDKeyRow(kb[:0], keyIDs)
+			ge, ok := index[string(kb)]
 			if !ok {
-				ge = &groupEntry{key: k}
-				index[k] = ge
+				ge = &groupEntry{}
+				index[string(kb)] = ge
 				groups = append(groups, ge)
 			}
-			ge.rows = append(ge.rows, row)
+			ge.rows = append(ge.rows, i)
 		}
 	}
 
-	var out []Binding
+	// Output columns: the grouping vars plus every computed projection.
+	outVars := make([]string, 0, len(q.GroupBy)+len(q.Items))
+	outSeen := map[string]int{}
+	for _, v := range q.GroupBy {
+		if _, ok := outSeen[v]; !ok {
+			outSeen[v] = len(outVars)
+			outVars = append(outVars, v)
+		}
+	}
+	for _, it := range q.Items {
+		if it.Expr == nil {
+			continue // plain variable: must be a grouping var, already present
+		}
+		if _, ok := outSeen[it.Var]; !ok {
+			outSeen[it.Var] = len(outVars)
+			outVars = append(outVars, it.Var)
+		}
+	}
+	out := newIDRows(outVars)
+	keyRow := newIDRows(append([]string(nil), q.GroupBy...))
+	keyRow.data = make([]store.ID, len(q.GroupBy))
+	keyRow.n = 1
+	rowBuf := make([]store.ID, len(outVars))
+
 	for _, ge := range groups {
 		if err := ev.tick(); err != nil {
 			return nil, err
 		}
-		keyRow := Binding{}
+		for j := range keyRow.data {
+			keyRow.data[j] = 0
+		}
 		if len(ge.rows) > 0 {
-			for _, v := range q.GroupBy {
-				if t, ok := ge.rows[0][v]; ok {
-					keyRow[v] = t
+			first := ge.rows[0]
+			for j, c := range cols {
+				if c >= 0 {
+					keyRow.data[j] = sols.at(first, c)
 				}
 			}
 		}
-		ctx := &evalCtx{row: keyRow, group: ge.rows, cache: ev.cache}
+		ctx := &evalCtx{
+			row:      &idRowView{rows: keyRow, dict: ev.dict},
+			groupSrc: sols,
+			groupIdx: ge.rows,
+			dict:     ev.dict,
+			cache:    ev.cache,
+		}
 		keep := true
 		for _, h := range q.Having {
 			if !evalBool(h, ctx) {
@@ -178,40 +232,49 @@ func (ev *evaluator) aggregate(q *Query, sols []Binding) ([]Binding, error) {
 		if !keep {
 			continue
 		}
-		newRow := keyRow.clone()
+		for j := range rowBuf {
+			rowBuf[j] = 0
+		}
+		for j, v := range q.GroupBy {
+			rowBuf[outSeen[v]] = keyRow.data[j]
+		}
 		for _, it := range q.Items {
 			if it.Expr == nil {
-				continue // plain variable: must be a grouping var, already present
+				continue
 			}
 			v, err := evalExpr(it.Expr, ctx)
 			if err == nil {
-				newRow[it.Var] = v
+				rowBuf[outSeen[it.Var]] = ev.dict.encode(v)
 			}
 		}
-		out = append(out, newRow)
+		out.appendRow(rowBuf)
 	}
 	return out, nil
 }
 
-func (ev *evaluator) orderBy(sols []Binding, keys []OrderKey) error {
-	type sortRow struct {
-		row  Binding
-		keys []rdf.Term
-	}
-	rows := make([]sortRow, len(sols))
-	for i, row := range sols {
-		ks := make([]rdf.Term, len(keys))
+func (ev *evaluator) orderBy(sols *idRows, keys []OrderKey) error {
+	n := sols.n
+	nk := len(keys)
+	keyTerms := make([]rdf.Term, n*nk)
+	ctx, view := ev.rowCtx(sols)
+	for i := 0; i < n; i++ {
+		view.idx = i
 		for j, k := range keys {
-			v, err := evalExpr(k.Expr, &evalCtx{row: row, cache: ev.cache})
+			v, err := evalExpr(k.Expr, ctx)
 			if err == nil {
-				ks[j] = v
+				keyTerms[i*nk+j] = v
 			}
 		}
-		rows[i] = sortRow{row: row, keys: ks}
 	}
-	sort.SliceStable(rows, func(a, b int) bool {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ka := keyTerms[perm[a]*nk : perm[a]*nk+nk]
+		kb := keyTerms[perm[b]*nk : perm[b]*nk+nk]
 		for j, k := range keys {
-			c := rdf.Compare(rows[a].keys[j], rows[b].keys[j])
+			c := rdf.Compare(ka[j], kb[j])
 			if c == 0 {
 				continue
 			}
@@ -222,38 +285,18 @@ func (ev *evaluator) orderBy(sols []Binding, keys []OrderKey) error {
 		}
 		return false
 	})
-	for i := range rows {
-		sols[i] = rows[i].row
-	}
+	sols.permute(perm)
 	return nil
-}
-
-func distinctRows(rows [][]rdf.Term) [][]rdf.Term {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	for _, r := range rows {
-		var sb strings.Builder
-		for _, t := range r {
-			sb.WriteString(t.String())
-			sb.WriteByte('\x00')
-		}
-		k := sb.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
-		}
-	}
-	return out
 }
 
 // evalGroup evaluates a group graph pattern. graphOverride, when non-empty,
 // scopes all patterns to that single graph (a GRAPH block).
-func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) ([]Binding, error) {
+func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) (*idRows, error) {
 	active := graphs
 	if graphOverride != "" {
 		active = []string{graphOverride}
 	}
-	current := []Binding{{}}
+	current := unitSolution()
 	var pending []TriplePattern
 
 	// FILTER scope is the whole group regardless of textual position;
@@ -285,13 +328,14 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			for i, row := range current {
-				v, err := evalExpr(e.Expr, &evalCtx{row: row, cache: ev.cache})
-				nr := row.clone()
+			col := current.ensureCol(e.Var)
+			ctx, view := ev.rowCtx(current)
+			for i := 0; i < current.n; i++ {
+				view.idx = i
+				v, err := evalExpr(e.Expr, ctx)
 				if err == nil {
-					nr[e.Var] = v
+					current.set(i, col, ev.dict.encode(v))
 				}
-				current[i] = nr
 			}
 		case OptionalElem:
 			if err := flush(); err != nil {
@@ -301,20 +345,20 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
-			current = leftJoin(current, right)
+			current = leftJoinRows(current, right, time.Time{})
 		case UnionElem:
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			var union []Binding
+			parts := make([]*idRows, 0, len(e.Branches))
 			for _, b := range e.Branches {
 				part, err := ev.evalGroup(b, graphs, graphOverride)
 				if err != nil {
 					return nil, err
 				}
-				union = append(union, part...)
+				parts = append(parts, part)
 			}
-			current = join(current, union)
+			current = joinRows(current, concatRows(parts), time.Time{})
 		case GraphElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -323,7 +367,7 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
-			current = join(current, right)
+			current = joinRows(current, right, time.Time{})
 		case GroupElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -332,16 +376,16 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
-			current = join(current, right)
+			current = joinRows(current, right, time.Time{})
 		case SubQueryElem:
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			res, err := ev.evalQuery(e.Query, graphs)
+			sub, err := ev.evalQueryRows(e.Query, graphs)
 			if err != nil {
 				return nil, err
 			}
-			current = joinDeadline(current, res.bindings(), ev.deadline)
+			current = joinRows(current, sub, ev.deadline)
 			if err := ev.deadlineErr(); err != nil {
 				return nil, err
 			}
@@ -354,13 +398,15 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 	}
 	// FILTER scope is the whole group.
 	if len(filters) > 0 {
-		kept := current[:0]
-		for _, row := range current {
+		w := current.width()
+		ctx, view := ev.rowCtx(current)
+		keep := 0
+		for i := 0; i < current.n; i++ {
 			if err := ev.tick(); err != nil {
 				return nil, err
 			}
+			view.idx = i
 			ok := true
-			ctx := &evalCtx{row: row, cache: ev.cache}
 			for _, f := range filters {
 				if !evalBool(f, ctx) {
 					ok = false
@@ -368,10 +414,14 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 				}
 			}
 			if ok {
-				kept = append(kept, row)
+				if keep != i {
+					copy(current.data[keep*w:(keep+1)*w], current.data[i*w:(i+1)*w])
+				}
+				keep++
 			}
 		}
-		current = kept
+		current.n = keep
+		current.data = current.data[:keep*w]
 	}
 	return current, nil
 }
@@ -382,13 +432,13 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 // bound, it is applied (and removed from the group's filter list), pruning
 // intermediate results early. This is sound because group filters are
 // conjunctive and rows never regain bindings they were rejected on.
-func (ev *evaluator) evalBGP(current []Binding, patterns []TriplePattern, graphs []string, filters *[]Expression) ([]Binding, error) {
-	if len(current) == 0 {
-		return nil, nil
+func (ev *evaluator) evalBGP(current *idRows, patterns []TriplePattern, graphs []string, filters *[]Expression) (*idRows, error) {
+	if current.n == 0 {
+		return current, nil
 	}
 	bound := map[string]bool{}
-	for _, row := range current {
-		for v := range row {
+	for c, v := range current.vars {
+		if current.boundAnywhere(c) {
 			bound[v] = true
 		}
 	}
@@ -411,17 +461,19 @@ func (ev *evaluator) evalBGP(current []Binding, patterns []TriplePattern, graphs
 				return nil, err
 			}
 		}
-		if len(current) == 0 {
-			return nil, nil
+		if current.n == 0 {
+			return current, nil
 		}
 	}
 	return current, nil
 }
 
 // applyReadyFilters applies and removes every filter whose variables are
-// all bound.
-func (ev *evaluator) applyReadyFilters(current []Binding, bound map[string]bool, filters *[]Expression) ([]Binding, error) {
+// all bound, compacting the batch in place.
+func (ev *evaluator) applyReadyFilters(current *idRows, bound map[string]bool, filters *[]Expression) (*idRows, error) {
 	remaining := (*filters)[:0]
+	w := current.width()
+	ctx, view := ev.rowCtx(current)
 	for _, f := range *filters {
 		ready := true
 		for _, v := range exprVars(f) {
@@ -434,16 +486,21 @@ func (ev *evaluator) applyReadyFilters(current []Binding, bound map[string]bool,
 			remaining = append(remaining, f)
 			continue
 		}
-		kept := current[:0]
-		for _, row := range current {
+		keep := 0
+		for i := 0; i < current.n; i++ {
 			if err := ev.tick(); err != nil {
 				return nil, err
 			}
-			if evalBool(f, &evalCtx{row: row, cache: ev.cache}) {
-				kept = append(kept, row)
+			view.idx = i
+			if evalBool(f, ctx) {
+				if keep != i {
+					copy(current.data[keep*w:(keep+1)*w], current.data[i*w:(i+1)*w])
+				}
+				keep++
 			}
 		}
-		current = kept
+		current.n = keep
+		current.data = current.data[:keep*w]
 	}
 	*filters = remaining
 	return current, nil
@@ -550,256 +607,140 @@ func (ev *evaluator) constantPattern(pat TriplePattern) (store.IDTriple, bool) {
 	return out, true
 }
 
-// extend joins each current solution with the matches of one pattern.
-func (ev *evaluator) extend(current []Binding, pat TriplePattern, graphs []string) ([]Binding, error) {
+// patSlot describes one position of a triple pattern resolved against the
+// current batch: either a constant id or a variable with its source column
+// (-1 when not yet bound) and output column.
+type patSlot struct {
+	isVar   bool
+	constID store.ID
+	curCol  int
+	outCol  int
+}
+
+// extend joins each current solution with the matches of one pattern,
+// entirely in id space. Rows that resolve to the same concrete id pattern
+// share one index probe: when no pattern variable is bound yet (the common
+// case for the first pattern of a BGP) the store is probed exactly once for
+// the whole batch instead of once per row.
+func (ev *evaluator) extend(cur *idRows, pat TriplePattern, graphs []string) (*idRows, error) {
 	dict := ev.store.Dict()
-	var out []Binding
-	for _, row := range current {
+	nodes := [3]Node{pat.S, pat.P, pat.O}
+	var slots [3]patSlot
+	outVars := append([]string(nil), cur.vars...)
+	outCols := make(map[string]int, len(outVars)+3)
+	for i, v := range outVars {
+		outCols[v] = i
+	}
+	constMissing := false
+	for k, n := range nodes {
+		if !n.IsVar {
+			id, ok := dict.Lookup(n.Term)
+			if !ok {
+				constMissing = true
+			}
+			slots[k] = patSlot{constID: id}
+			continue
+		}
+		out, ok := outCols[n.Var]
+		cc := -1
+		if ok {
+			if out < len(cur.vars) {
+				cc = out
+			}
+		} else {
+			out = len(outVars)
+			outVars = append(outVars, n.Var)
+			outCols[n.Var] = out
+		}
+		slots[k] = patSlot{isVar: true, curCol: cc, outCol: out}
+	}
+	out := newIDRows(outVars)
+	if constMissing {
+		// A constant term absent from the dictionary matches nothing.
+		return out, nil
+	}
+
+	// Repeated-variable positions must agree within one match (the
+	// bindNode reject path of the per-row evaluator).
+	sameSP := nodes[0].IsVar && nodes[1].IsVar && nodes[0].Var == nodes[1].Var
+	sameSO := nodes[0].IsVar && nodes[2].IsVar && nodes[0].Var == nodes[2].Var
+	samePO := nodes[1].IsVar && nodes[2].IsVar && nodes[1].Var == nodes[2].Var
+
+	w := len(cur.vars)
+	rowBuf := make([]store.ID, len(outVars))
+	// Probe results are cached by resolved key so rows sharing a key share
+	// one index scan. When the bound columns turn out to be (nearly) all
+	// distinct the cache can only retain memory without saving probes, so
+	// insertion stops once it grows large with no hits.
+	probeCache := make(map[store.IDTriple][]store.IDTriple)
+	cacheHits := 0
+	for i := 0; i < cur.n; i++ {
 		if err := ev.tick(); err != nil {
 			return nil, err
 		}
-		var idPat store.IDTriple
-		ok := true
-		resolve := func(n Node) store.ID {
-			if !ok {
-				return 0
-			}
-			var t rdf.Term
-			if n.IsVar {
-				bt, bok := row[n.Var]
-				if !bok || !bt.IsBound() {
-					return 0 // wildcard
+		row := cur.data[i*w : (i+1)*w]
+		var key store.IDTriple
+		for k := range slots {
+			s := &slots[k]
+			id := s.constID
+			if s.isVar {
+				if s.curCol >= 0 {
+					id = row[s.curCol] // 0 stays a wildcard
+				} else {
+					id = 0
 				}
-				t = bt
-			} else {
-				t = n.Term
 			}
-			id, found := dict.Lookup(t)
-			if !found {
-				ok = false
+			switch k {
+			case 0:
+				key.S = id
+			case 1:
+				key.P = id
+			case 2:
+				key.O = id
 			}
-			return id
 		}
-		idPat.S = resolve(pat.S)
-		idPat.P = resolve(pat.P)
-		idPat.O = resolve(pat.O)
-		if !ok {
-			continue
+		matches, cached := probeCache[key]
+		if cached {
+			cacheHits++
+		} else {
+			var iterErr error
+			ev.store.MatchAny(graphs, key, func(t store.IDTriple) bool {
+				if err := ev.tick(); err != nil {
+					iterErr = err
+					return false
+				}
+				if sameSP && t.S != t.P || sameSO && t.S != t.O || samePO && t.P != t.O {
+					return true
+				}
+				matches = append(matches, t)
+				return true
+			})
+			if iterErr != nil {
+				return nil, iterErr
+			}
+			if len(probeCache) < 1024 || cacheHits >= len(probeCache)/8 {
+				probeCache[key] = matches
+			}
 		}
-		var iterErr error
-		ev.store.MatchAny(graphs, idPat, func(t store.IDTriple) bool {
+		for _, m := range matches {
 			if err := ev.tick(); err != nil {
-				iterErr = err
-				return false
+				return nil, err
 			}
-			nr := row.clone()
-			if !bindNode(nr, pat.S, dict.Decode(t.S)) {
-				return true
+			copy(rowBuf, row)
+			for j := w; j < len(rowBuf); j++ {
+				rowBuf[j] = 0
 			}
-			if !bindNode(nr, pat.P, dict.Decode(t.P)) {
-				return true
+			if slots[0].isVar {
+				rowBuf[slots[0].outCol] = m.S
 			}
-			if !bindNode(nr, pat.O, dict.Decode(t.O)) {
-				return true
+			if slots[1].isVar {
+				rowBuf[slots[1].outCol] = m.P
 			}
-			out = append(out, nr)
-			return true
-		})
-		if iterErr != nil {
-			return nil, iterErr
+			if slots[2].isVar {
+				rowBuf[slots[2].outCol] = m.O
+			}
+			out.appendRow(rowBuf)
 		}
 	}
 	return out, nil
-}
-
-// bindNode records a variable binding, rejecting inconsistent re-binding
-// (the same variable matched to two different terms within one pattern).
-func bindNode(row Binding, n Node, t rdf.Term) bool {
-	if !n.IsVar {
-		return true
-	}
-	if prev, ok := row[n.Var]; ok && prev.IsBound() {
-		return prev == t
-	}
-	row[n.Var] = t
-	return true
-}
-
-// join computes the SPARQL join of two solution multisets (compatible
-// mappings merged). It hash-joins on the shared variables that are bound in
-// every row (verifying compatibility of the rest per pair), falling back to
-// a nested loop only when no shared variable is always bound.
-func join(left, right []Binding) []Binding { return joinDeadline(left, right, time.Time{}) }
-
-func joinDeadline(left, right []Binding, deadline time.Time) []Binding {
-	if len(left) == 0 || len(right) == 0 {
-		return nil
-	}
-	shared, boundShared := sharedVars(left, right)
-	if len(shared) == 0 {
-		// Cross product.
-		out := make([]Binding, 0, len(left)*len(right))
-		for _, l := range left {
-			for _, r := range right {
-				out = append(out, merge(l, r))
-			}
-		}
-		return out
-	}
-	needVerify := len(boundShared) < len(shared)
-	if len(boundShared) > 0 {
-		index := map[string][]Binding{}
-		for _, r := range right {
-			index[joinKey(r, boundShared)] = append(index[joinKey(r, boundShared)], r)
-		}
-		var out []Binding
-		for i, l := range left {
-			if deadlineExceeded(deadline, i) {
-				return out
-			}
-			for _, r := range index[joinKey(l, boundShared)] {
-				if !needVerify || compatible(l, r) {
-					out = append(out, merge(l, r))
-				}
-			}
-		}
-		return out
-	}
-	var out []Binding
-	for i, l := range left {
-		if deadlineExceeded(deadline, i) {
-			return out
-		}
-		for _, r := range right {
-			if compatible(l, r) {
-				out = append(out, merge(l, r))
-			}
-		}
-	}
-	return out
-}
-
-// leftJoin computes the SPARQL left outer join of two solution multisets.
-func leftJoin(left, right []Binding) []Binding { return leftJoinDeadline(left, right, time.Time{}) }
-
-func leftJoinDeadline(left, right []Binding, deadline time.Time) []Binding {
-	if len(left) == 0 {
-		return nil
-	}
-	if len(right) == 0 {
-		return left
-	}
-	shared, boundShared := sharedVars(left, right)
-	var out []Binding
-	if len(shared) > 0 && len(boundShared) > 0 {
-		needVerify := len(boundShared) < len(shared)
-		index := map[string][]Binding{}
-		for _, r := range right {
-			index[joinKey(r, boundShared)] = append(index[joinKey(r, boundShared)], r)
-		}
-		for i, l := range left {
-			if deadlineExceeded(deadline, i) {
-				return out
-			}
-			matched := false
-			for _, r := range index[joinKey(l, boundShared)] {
-				if !needVerify || compatible(l, r) {
-					out = append(out, merge(l, r))
-					matched = true
-				}
-			}
-			if !matched {
-				out = append(out, l)
-			}
-		}
-		return out
-	}
-	for i, l := range left {
-		if deadlineExceeded(deadline, i) {
-			return out
-		}
-		matched := false
-		for _, r := range right {
-			if compatible(l, r) {
-				out = append(out, merge(l, r))
-				matched = true
-			}
-		}
-		if !matched {
-			out = append(out, l)
-		}
-	}
-	return out
-}
-
-// deadlineExceeded checks the deadline every 1024 iterations; abandoned
-// client-side joins stop consuming CPU shortly after their harness gives
-// up on them.
-func deadlineExceeded(deadline time.Time, i int) bool {
-	return !deadline.IsZero() && i&1023 == 0 && time.Now().After(deadline)
-}
-
-// sharedVars returns the variables observed on both sides, plus the subset
-// of them bound in every row on both sides (usable as a hash-join key).
-func sharedVars(left, right []Binding) (shared, boundShared []string) {
-	lv := map[string]bool{}
-	for _, row := range left {
-		for v := range row {
-			lv[v] = true
-		}
-	}
-	rv := map[string]bool{}
-	for _, row := range right {
-		for v := range row {
-			rv[v] = true
-		}
-	}
-	for v := range lv {
-		if rv[v] {
-			shared = append(shared, v)
-		}
-	}
-	sort.Strings(shared)
-	alwaysBound := func(rows []Binding, v string) bool {
-		for _, row := range rows {
-			if t, ok := row[v]; !ok || !t.IsBound() {
-				return false
-			}
-		}
-		return true
-	}
-	for _, v := range shared {
-		if alwaysBound(left, v) && alwaysBound(right, v) {
-			boundShared = append(boundShared, v)
-		}
-	}
-	return shared, boundShared
-}
-
-func joinKey(row Binding, vars []string) string {
-	var sb strings.Builder
-	for _, v := range vars {
-		sb.WriteString(row[v].String())
-		sb.WriteByte('\x00')
-	}
-	return sb.String()
-}
-
-func compatible(a, b Binding) bool {
-	for v, av := range a {
-		if bv, ok := b[v]; ok && av.IsBound() && bv.IsBound() && av != bv {
-			return false
-		}
-	}
-	return true
-}
-
-func merge(a, b Binding) Binding {
-	out := a.clone()
-	for v, bv := range b {
-		if cur, ok := out[v]; !ok || !cur.IsBound() {
-			out[v] = bv
-		}
-	}
-	return out
 }

@@ -92,13 +92,45 @@ func containsAggregate(e Expression) bool {
 // unbound.
 var errExpr = fmt.Errorf("sparql: expression error")
 
-// evalCtx carries the evaluation context for expressions: the current row,
-// and, when evaluating HAVING or aggregate projections, the group.
-type evalCtx struct {
-	row   Binding
-	group []Binding // non-nil when aggregates are in scope
-	cache *regexCache
+// exprRow is the expression evaluator's view of one solution row. The
+// engine's rows are columnar id batches decoded on demand (idRowView); the
+// exported expression API and the client-side baselines use Binding maps.
+type exprRow interface {
+	lookupVar(name string) (rdf.Term, bool)
 }
+
+// idRowView adapts one row of an id batch to exprRow, decoding ids to terms
+// only when an expression actually reads the variable. The view is mutable:
+// hot loops allocate it once and advance idx.
+type idRowView struct {
+	rows *idRows
+	idx  int
+	dict *evalDict
+}
+
+func (v *idRowView) lookupVar(name string) (rdf.Term, bool) {
+	c, ok := v.rows.col(name)
+	if !ok {
+		return rdf.Term{}, false
+	}
+	return v.dict.decode(v.rows.at(v.idx, c)), true
+}
+
+// evalCtx carries the evaluation context for expressions: the current row,
+// and, when evaluating HAVING or aggregate projections, the group. A group
+// is either a set of row indices into a columnar batch (groupSrc/groupIdx,
+// the engine path) or a slice of Binding maps (group, the exported API).
+type evalCtx struct {
+	row      exprRow
+	group    []Binding // non-nil when aggregates are in scope (map rows)
+	groupSrc *idRows   // non-nil when aggregates are in scope (id rows)
+	groupIdx []int     // row indices into groupSrc
+	dict     *evalDict
+	cache    *regexCache
+}
+
+// inGroup reports whether aggregates may be evaluated in this context.
+func (ctx *evalCtx) inGroup() bool { return ctx.group != nil || ctx.groupSrc != nil }
 
 type regexCache struct {
 	m map[string]*regexp.Regexp
@@ -130,7 +162,7 @@ func evalExpr(e Expression, ctx *evalCtx) (rdf.Term, error) {
 	case ExTerm:
 		return x.Term, nil
 	case ExVar:
-		t, ok := ctx.row[x.Name]
+		t, ok := ctx.row.lookupVar(x.Name)
 		if !ok || !t.IsBound() {
 			return rdf.Term{}, errExpr
 		}
@@ -144,7 +176,7 @@ func evalExpr(e Expression, ctx *evalCtx) (rdf.Term, error) {
 	case ExIn:
 		return evalIn(x, ctx)
 	case ExAgg:
-		if ctx.group == nil {
+		if !ctx.inGroup() {
 			return rdf.Term{}, fmt.Errorf("sparql: aggregate outside of group context")
 		}
 		return evalAggregate(x, ctx)
@@ -396,7 +428,7 @@ func evalCall(x ExCall, ctx *evalCtx) (rdf.Term, error) {
 		if !ok {
 			return rdf.Term{}, errExpr
 		}
-		t, exists := ctx.row[v.Name]
+		t, exists := ctx.row.lookupVar(v.Name)
 		return boolTerm(exists && t.IsBound()), nil
 	case "str":
 		t, err := arg(0)
@@ -564,9 +596,25 @@ func evalCall(x ExCall, ctx *evalCtx) (rdf.Term, error) {
 	return rdf.Term{}, fmt.Errorf("sparql: unknown function %q", x.Name)
 }
 
-// evalAggregate computes an aggregate over ctx.group.
+// evalAggregate computes an aggregate over the context's group rows.
 func evalAggregate(x ExAgg, ctx *evalCtx) (rdf.Term, error) {
 	var values []rdf.Term
+	if ctx.groupSrc != nil {
+		view := &idRowView{rows: ctx.groupSrc, dict: ctx.dict}
+		sub := &evalCtx{row: view, dict: ctx.dict, cache: ctx.cache}
+		for _, ri := range ctx.groupIdx {
+			if x.Star {
+				values = append(values, rdf.NewInteger(1))
+				continue
+			}
+			view.idx = ri
+			v, err := evalExpr(x.Arg, sub)
+			if err != nil {
+				continue // aggregates skip error values
+			}
+			values = append(values, v)
+		}
+	}
 	for _, row := range ctx.group {
 		if x.Star {
 			values = append(values, rdf.NewInteger(1))

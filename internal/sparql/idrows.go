@@ -1,0 +1,531 @@
+package sparql
+
+import (
+	"time"
+
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/store"
+)
+
+// This file implements the ID-space execution model: solution multisets are
+// columnar batches of dictionary ids (idRows) instead of per-row
+// map[string]rdf.Term bindings. Every relational operator — BGP extension,
+// join, left join, union, DISTINCT, GROUP BY keying — works on integer ids;
+// terms are decoded only at the expression-evaluation and final-projection
+// boundaries (see PERFORMANCE.md).
+
+// extraIDBase is the first id the evaluator hands out for terms that are
+// not interned in the store dictionary (values computed by BIND, projection
+// expressions, aggregates, or carried in from subqueries). Store ids are
+// dense and start at 1, so anything at or above this base can never collide
+// with a store id short of a graph with 2^31 terms.
+const extraIDBase = store.ID(1) << 31
+
+// evalDict resolves ids to terms and interns query-computed terms, layered
+// over the store dictionary. The store dictionary is never mutated, so
+// concurrent queries stay safe; each evaluator owns its own evalDict.
+type evalDict struct {
+	dict     *store.Dictionary
+	extra    []rdf.Term
+	extraIdx map[rdf.Term]store.ID
+}
+
+func newEvalDict(d *store.Dictionary) *evalDict { return &evalDict{dict: d} }
+
+// decode returns the term for id; 0 decodes to the unbound term.
+func (d *evalDict) decode(id store.ID) rdf.Term {
+	if id == 0 {
+		return rdf.Term{}
+	}
+	if id >= extraIDBase {
+		return d.extra[id-extraIDBase]
+	}
+	return d.dict.Decode(id)
+}
+
+// encode interns t, preferring the store dictionary (so id equality is term
+// equality across stored and computed values). Unbound encodes to 0.
+func (d *evalDict) encode(t rdf.Term) store.ID {
+	if !t.IsBound() {
+		return 0
+	}
+	if id, ok := d.dict.Lookup(t); ok {
+		return id
+	}
+	if id, ok := d.extraIdx[t]; ok {
+		return id
+	}
+	if d.extraIdx == nil {
+		d.extraIdx = make(map[rdf.Term]store.ID)
+	}
+	id := extraIDBase + store.ID(len(d.extra))
+	d.extra = append(d.extra, t)
+	d.extraIdx[t] = id
+	return id
+}
+
+// idRows is a columnar solution batch: vars names the columns and data holds
+// n*len(vars) ids in row-major order. 0 is an unbound cell. A batch with no
+// columns can still hold rows (the unit solution a group evaluation starts
+// from).
+type idRows struct {
+	vars []string
+	cols map[string]int // var name -> column index
+	data []store.ID
+	n    int
+}
+
+func newIDRows(vars []string) *idRows {
+	r := &idRows{vars: vars, cols: make(map[string]int, len(vars))}
+	for i, v := range vars {
+		r.cols[v] = i
+	}
+	return r
+}
+
+// unitSolution is the join identity: one row binding nothing.
+func unitSolution() *idRows {
+	r := newIDRows(nil)
+	r.n = 1
+	return r
+}
+
+func (r *idRows) width() int { return len(r.vars) }
+
+func (r *idRows) row(i int) []store.ID {
+	w := len(r.vars)
+	return r.data[i*w : (i+1)*w]
+}
+
+func (r *idRows) at(i, c int) store.ID      { return r.data[i*len(r.vars)+c] }
+func (r *idRows) set(i, c int, id store.ID) { r.data[i*len(r.vars)+c] = id }
+
+func (r *idRows) col(name string) (int, bool) {
+	c, ok := r.cols[name]
+	return c, ok
+}
+
+// ensureCol returns the column for name, reshaping the batch to add it
+// (zero-filled) when absent.
+func (r *idRows) ensureCol(name string) int {
+	if c, ok := r.cols[name]; ok {
+		return c
+	}
+	oldW := len(r.vars)
+	r.vars = append(r.vars, name)
+	r.cols[name] = oldW
+	newW := oldW + 1
+	data := make([]store.ID, r.n*newW)
+	for i := 0; i < r.n; i++ {
+		copy(data[i*newW:], r.data[i*oldW:(i+1)*oldW])
+	}
+	r.data = data
+	return oldW
+}
+
+func (r *idRows) appendRow(row []store.ID) {
+	r.data = append(r.data, row...)
+	r.n++
+}
+
+// boundAnywhere reports whether column c is nonzero in at least one row.
+func (r *idRows) boundAnywhere(c int) bool {
+	w := len(r.vars)
+	for i := 0; i < r.n; i++ {
+		if r.data[i*w+c] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// boundEverywhere reports whether column c is nonzero in every row.
+func (r *idRows) boundEverywhere(c int) bool {
+	w := len(r.vars)
+	for i := 0; i < r.n; i++ {
+		if r.data[i*w+c] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// project returns a batch with exactly the given columns in order;
+// variables absent from r become all-unbound columns. An identity
+// projection returns r itself, skipping the copy on the common SELECT *
+// result path.
+func (r *idRows) project(vars []string) *idRows {
+	if len(vars) == len(r.vars) {
+		same := true
+		for i, v := range vars {
+			if r.vars[i] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return r
+		}
+	}
+	out := newIDRows(vars)
+	src := make([]int, len(vars)) // source column or -1
+	for j, v := range vars {
+		if c, ok := r.cols[v]; ok {
+			src[j] = c
+		} else {
+			src[j] = -1
+		}
+	}
+	out.data = make([]store.ID, 0, r.n*len(vars))
+	for i := 0; i < r.n; i++ {
+		row := r.row(i)
+		for _, c := range src {
+			if c < 0 {
+				out.data = append(out.data, 0)
+			} else {
+				out.data = append(out.data, row[c])
+			}
+		}
+	}
+	out.n = r.n
+	return out
+}
+
+// distinct removes duplicate rows in place, keeping first occurrences in
+// order. Rows are compared by id, which is exact term equality.
+func (r *idRows) distinct() {
+	w := len(r.vars)
+	seen := make(map[string]bool, r.n)
+	var kb []byte
+	keep := 0
+	for i := 0; i < r.n; i++ {
+		kb = appendIDKeyRow(kb[:0], r.row(i))
+		if seen[string(kb)] {
+			continue
+		}
+		seen[string(kb)] = true
+		if keep != i {
+			copy(r.data[keep*w:(keep+1)*w], r.data[i*w:(i+1)*w])
+		}
+		keep++
+	}
+	r.n = keep
+	r.data = r.data[:keep*w]
+}
+
+// sliceRows restricts the batch to rows [lo, hi).
+func (r *idRows) sliceRows(lo, hi int) {
+	w := len(r.vars)
+	if lo > 0 {
+		copy(r.data, r.data[lo*w:hi*w])
+	}
+	r.n = hi - lo
+	r.data = r.data[:r.n*w]
+}
+
+// permute reorders rows so that new row i is old row perm[i].
+func (r *idRows) permute(perm []int) {
+	w := len(r.vars)
+	data := make([]store.ID, len(r.data))
+	for i, p := range perm {
+		copy(data[i*w:(i+1)*w], r.data[p*w:(p+1)*w])
+	}
+	r.data = data
+}
+
+// appendIDKeyRow appends the fixed-width byte encoding of every id in row.
+// Fixed-width components make the key collision-free by construction.
+func appendIDKeyRow(buf []byte, row []store.ID) []byte {
+	for _, id := range row {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return buf
+}
+
+func appendIDKeyCols(buf []byte, row []store.ID, cols []int) []byte {
+	for _, c := range cols {
+		id := row[c]
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return buf
+}
+
+// concatRows concatenates batches (a UNION): columns are the union of all
+// branch columns in first-seen order, rows keep branch order.
+func concatRows(parts []*idRows) *idRows {
+	var vars []string
+	seen := map[string]bool{}
+	for _, p := range parts {
+		for _, v := range p.vars {
+			if !seen[v] {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	out := newIDRows(vars)
+	total := 0
+	for _, p := range parts {
+		total += p.n
+	}
+	out.data = make([]store.ID, 0, total*len(vars))
+	rowBuf := make([]store.ID, len(vars))
+	for _, p := range parts {
+		dst := make([]int, len(p.vars))
+		for j, v := range p.vars {
+			dst[j] = out.cols[v]
+		}
+		for i := 0; i < p.n; i++ {
+			for k := range rowBuf {
+				rowBuf[k] = 0
+			}
+			row := p.row(i)
+			for j, d := range dst {
+				rowBuf[d] = row[j]
+			}
+			out.appendRow(rowBuf)
+		}
+	}
+	return out
+}
+
+// joinShape precomputes how a pair of batches merges: shared columns, and
+// where the right-only columns land in the output.
+type joinShape struct {
+	outVars   []string
+	shared    [][2]int // (left col, right col) pairs
+	rOnlyCols []int    // right columns without a left counterpart
+	rOnlyOut  []int    // their output positions
+}
+
+func makeJoinShape(l, r *idRows) joinShape {
+	js := joinShape{outVars: append([]string(nil), l.vars...)}
+	for rc, v := range r.vars {
+		if lc, ok := l.cols[v]; ok {
+			js.shared = append(js.shared, [2]int{lc, rc})
+		} else {
+			js.rOnlyCols = append(js.rOnlyCols, rc)
+			js.rOnlyOut = append(js.rOnlyOut, len(js.outVars))
+			js.outVars = append(js.outVars, v)
+		}
+	}
+	return js
+}
+
+// emit writes the SPARQL merge of lrow and rrow into buf: left values win
+// where bound, right values fill the rest.
+func (js *joinShape) emit(buf, lrow, rrow []store.ID) {
+	copy(buf, lrow)
+	for _, p := range js.shared {
+		if buf[p[0]] == 0 {
+			buf[p[0]] = rrow[p[1]]
+		}
+	}
+	for k, rc := range js.rOnlyCols {
+		buf[js.rOnlyOut[k]] = rrow[rc]
+	}
+}
+
+// emitLeft writes lrow padded with unbound right-only columns (an OPTIONAL
+// row that matched nothing).
+func (js *joinShape) emitLeft(buf, lrow []store.ID) {
+	copy(buf, lrow)
+	for _, out := range js.rOnlyOut {
+		buf[out] = 0
+	}
+}
+
+// compatibleRows checks SPARQL mapping compatibility over the shared
+// columns: bound values must agree; unbound is compatible with anything.
+func compatibleRows(lrow, rrow []store.ID, shared [][2]int) bool {
+	for _, p := range shared {
+		lv, rv := lrow[p[0]], rrow[p[1]]
+		if lv != 0 && rv != 0 && lv != rv {
+			return false
+		}
+	}
+	return true
+}
+
+// joinKeyCols picks the shared columns usable as a hash key: those bound in
+// every row on both sides. The remaining shared columns (unbound somewhere)
+// must be verified per pair.
+func joinKeyCols(l, r *idRows, shared [][2]int) (lcols, rcols []int) {
+	for _, p := range shared {
+		if l.boundEverywhere(p[0]) && r.boundEverywhere(p[1]) {
+			lcols = append(lcols, p[0])
+			rcols = append(rcols, p[1])
+		}
+	}
+	return lcols, rcols
+}
+
+// joinIndex is a hash index over the right batch's key columns, stored as
+// bucket chains: first(lrow) returns the first matching right row (-1 for
+// none) and next[j] the following row in the same bucket. Chains avoid one
+// bucket-slice allocation per right row. Keys of up to two columns pack
+// into a uint64; wider keys use fixed-width byte strings — either way the
+// key is collision-free, unlike the old Term.String()+"\x00" concatenation.
+type joinIndex struct {
+	first func(lrow []store.ID) int32
+	next  []int32
+}
+
+func buildJoinIndex(r *idRows, rcols, lcols []int) joinIndex {
+	next := make([]int32, r.n)
+	if len(rcols) <= 2 {
+		key := func(row []store.ID, cols []int) uint64 {
+			k := uint64(row[cols[0]])
+			if len(cols) == 2 {
+				k = k<<32 | uint64(row[cols[1]])
+			}
+			return k
+		}
+		head := make(map[uint64]int32, r.n)
+		for j := r.n - 1; j >= 0; j-- { // reverse, so chains run ascending
+			k := key(r.row(j), rcols)
+			next[j] = head[k] - 1 // missing key yields 0, i.e. end marker -1
+			head[k] = int32(j) + 1
+		}
+		return joinIndex{
+			first: func(lrow []store.ID) int32 { return head[key(lrow, lcols)] - 1 },
+			next:  next,
+		}
+	}
+	head := make(map[string]int32, r.n)
+	var kb []byte
+	for j := r.n - 1; j >= 0; j-- {
+		kb = appendIDKeyCols(kb[:0], r.row(j), rcols)
+		k := string(kb)
+		next[j] = head[k] - 1
+		head[k] = int32(j) + 1
+	}
+	return joinIndex{
+		first: func(lrow []store.ID) int32 {
+			kb = appendIDKeyCols(kb[:0], lrow, lcols)
+			return head[string(kb)] - 1
+		},
+		next: next,
+	}
+}
+
+// joinRows computes the SPARQL join of two batches. It hash-joins on the
+// shared columns bound in every row (verifying the rest per pair) and falls
+// back to a nested loop, mirroring the Binding-based join semantics
+// exactly. A non-zero deadline truncates the join once passed (checked
+// every 1024 left rows); callers that care must re-check the deadline.
+func joinRows(l, r *idRows, deadline time.Time) *idRows {
+	js := makeJoinShape(l, r)
+	out := newIDRows(js.outVars)
+	if l.n == 0 || r.n == 0 {
+		return out
+	}
+	buf := make([]store.ID, len(js.outVars))
+	if len(js.shared) == 0 {
+		out.data = make([]store.ID, 0, l.n*r.n*len(js.outVars))
+		for i := 0; i < l.n; i++ {
+			if deadlineExceeded(deadline, i) {
+				return out
+			}
+			lrow := l.row(i)
+			for j := 0; j < r.n; j++ {
+				js.emit(buf, lrow, r.row(j))
+				out.appendRow(buf)
+			}
+		}
+		return out
+	}
+	lcols, rcols := joinKeyCols(l, r, js.shared)
+	needVerify := len(lcols) < len(js.shared)
+	if len(lcols) > 0 {
+		index := buildJoinIndex(r, rcols, lcols)
+		for i := 0; i < l.n; i++ {
+			if deadlineExceeded(deadline, i) {
+				return out
+			}
+			lrow := l.row(i)
+			for j := index.first(lrow); j >= 0; j = index.next[j] {
+				rrow := r.row(int(j))
+				if !needVerify || compatibleRows(lrow, rrow, js.shared) {
+					js.emit(buf, lrow, rrow)
+					out.appendRow(buf)
+				}
+			}
+		}
+		return out
+	}
+	for i := 0; i < l.n; i++ {
+		if deadlineExceeded(deadline, i) {
+			return out
+		}
+		lrow := l.row(i)
+		for j := 0; j < r.n; j++ {
+			rrow := r.row(j)
+			if compatibleRows(lrow, rrow, js.shared) {
+				js.emit(buf, lrow, rrow)
+				out.appendRow(buf)
+			}
+		}
+	}
+	return out
+}
+
+// leftJoinRows computes the SPARQL left outer join of two batches with the
+// same deadline contract as joinRows. When the right side is empty the left
+// batch is returned unchanged.
+func leftJoinRows(l, r *idRows, deadline time.Time) *idRows {
+	if r.n == 0 {
+		return l
+	}
+	js := makeJoinShape(l, r)
+	out := newIDRows(js.outVars)
+	if l.n == 0 {
+		return out
+	}
+	buf := make([]store.ID, len(js.outVars))
+	lcols, rcols := joinKeyCols(l, r, js.shared)
+	if len(js.shared) > 0 && len(lcols) > 0 {
+		needVerify := len(lcols) < len(js.shared)
+		index := buildJoinIndex(r, rcols, lcols)
+		for i := 0; i < l.n; i++ {
+			if deadlineExceeded(deadline, i) {
+				return out
+			}
+			lrow := l.row(i)
+			matched := false
+			for j := index.first(lrow); j >= 0; j = index.next[j] {
+				rrow := r.row(int(j))
+				if !needVerify || compatibleRows(lrow, rrow, js.shared) {
+					js.emit(buf, lrow, rrow)
+					out.appendRow(buf)
+					matched = true
+				}
+			}
+			if !matched {
+				js.emitLeft(buf, lrow)
+				out.appendRow(buf)
+			}
+		}
+		return out
+	}
+	for i := 0; i < l.n; i++ {
+		if deadlineExceeded(deadline, i) {
+			return out
+		}
+		lrow := l.row(i)
+		matched := false
+		for j := 0; j < r.n; j++ {
+			rrow := r.row(j)
+			if compatibleRows(lrow, rrow, js.shared) {
+				js.emit(buf, lrow, rrow)
+				out.appendRow(buf)
+				matched = true
+			}
+		}
+		if !matched {
+			js.emitLeft(buf, lrow)
+			out.appendRow(buf)
+		}
+	}
+	return out
+}

@@ -1,7 +1,6 @@
 package sparql
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
@@ -18,95 +17,13 @@ type Results struct {
 // Len returns the number of rows.
 func (r *Results) Len() int { return len(r.Rows) }
 
-// bindings converts rows back to Binding maps (bound cells only).
-func (r *Results) bindings() []Binding {
-	out := make([]Binding, len(r.Rows))
-	for i, row := range r.Rows {
-		b := make(Binding, len(r.Vars))
-		for j, v := range r.Vars {
-			if row[j].IsBound() {
-				b[v] = row[j]
-			}
-		}
-		out[i] = b
-	}
-	return out
-}
-
-// jsonResults mirrors the W3C "SPARQL 1.1 Query Results JSON Format".
-type jsonResults struct {
-	Head struct {
-		Vars []string `json:"vars"`
-	} `json:"head"`
-	Results struct {
-		Bindings []map[string]jsonTerm `json:"bindings"`
-	} `json:"results"`
-}
-
+// jsonTerm is one decoded term object of the W3C "SPARQL 1.1 Query Results
+// JSON Format" (the codec itself lives in resultsjson.go).
 type jsonTerm struct {
-	Type     string `json:"type"`
-	Value    string `json:"value"`
-	Lang     string `json:"xml:lang,omitempty"`
-	Datatype string `json:"datatype,omitempty"`
-}
-
-// MarshalJSON encodes the results in the SPARQL JSON results format.
-func (r *Results) MarshalJSON() ([]byte, error) {
-	var jr jsonResults
-	jr.Head.Vars = r.Vars
-	if jr.Head.Vars == nil {
-		jr.Head.Vars = []string{}
-	}
-	jr.Results.Bindings = make([]map[string]jsonTerm, len(r.Rows))
-	for i, row := range r.Rows {
-		m := make(map[string]jsonTerm, len(r.Vars))
-		for j, v := range r.Vars {
-			t := row[j]
-			if !t.IsBound() {
-				continue
-			}
-			m[v] = encodeTerm(t)
-		}
-		jr.Results.Bindings[i] = m
-	}
-	return json.Marshal(jr)
-}
-
-// UnmarshalJSON decodes the SPARQL JSON results format.
-func (r *Results) UnmarshalJSON(data []byte) error {
-	var jr jsonResults
-	if err := json.Unmarshal(data, &jr); err != nil {
-		return err
-	}
-	r.Vars = jr.Head.Vars
-	r.Rows = make([][]rdf.Term, len(jr.Results.Bindings))
-	for i, b := range jr.Results.Bindings {
-		row := make([]rdf.Term, len(r.Vars))
-		for j, v := range r.Vars {
-			jt, ok := b[v]
-			if !ok {
-				continue
-			}
-			t, err := decodeTerm(jt)
-			if err != nil {
-				return fmt.Errorf("sparql: row %d var %s: %w", i, v, err)
-			}
-			row[j] = t
-		}
-		r.Rows[i] = row
-	}
-	return nil
-}
-
-func encodeTerm(t rdf.Term) jsonTerm {
-	switch t.Kind {
-	case rdf.IRIKind:
-		return jsonTerm{Type: "uri", Value: t.Value}
-	case rdf.BlankKind:
-		return jsonTerm{Type: "bnode", Value: t.Value}
-	default:
-		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
-	}
+	Type     string
+	Value    string
+	Lang     string
+	Datatype string
 }
 
 func decodeTerm(jt jsonTerm) (rdf.Term, error) {
@@ -145,7 +62,7 @@ func ReadJSON(rd io.Reader) (*Results, error) {
 		return nil, err
 	}
 	var r Results
-	if err := json.Unmarshal(data, &r); err != nil {
+	if err := r.UnmarshalJSON(data); err != nil {
 		return nil, err
 	}
 	return &r, nil

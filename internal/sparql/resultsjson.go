@@ -1,0 +1,561 @@
+package sparql
+
+import (
+	"fmt"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"rdfframes/internal/rdf"
+)
+
+// Hand-rolled SPARQL JSON results codec. The reflect-based encoding/json
+// path allocated a map and several boxed values per row on both sides of
+// the wire; for result sets of tens of thousands of rows that dominated the
+// whole query round trip. The encoder appends straight into one buffer and
+// the decoder is a single-pass scanner that interns repeated strings, so a
+// column full of the same IRI costs one allocation, not one per row. The
+// wire format is unchanged (W3C "SPARQL 1.1 Query Results JSON Format").
+
+// MarshalJSON encodes the results in the SPARQL JSON results format.
+func (r *Results) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 64+len(r.Rows)*(len(r.Vars)*48+2))
+	buf = append(buf, `{"head":{"vars":[`...)
+	for i, v := range r.Vars {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendJSONString(buf, v)
+	}
+	buf = append(buf, `]},"results":{"bindings":[`...)
+	for i, row := range r.Rows {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '{')
+		first := true
+		for j, v := range r.Vars {
+			if j >= len(row) || !row[j].IsBound() {
+				continue
+			}
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
+			buf = appendJSONString(buf, v)
+			buf = append(buf, ':')
+			buf = appendJSONTerm(buf, row[j])
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, `]}}`...)
+	return buf, nil
+}
+
+func appendJSONTerm(buf []byte, t rdf.Term) []byte {
+	switch t.Kind {
+	case rdf.IRIKind:
+		buf = append(buf, `{"type":"uri","value":`...)
+		buf = appendJSONString(buf, t.Value)
+	case rdf.BlankKind:
+		buf = append(buf, `{"type":"bnode","value":`...)
+		buf = appendJSONString(buf, t.Value)
+	default:
+		buf = append(buf, `{"type":"literal","value":`...)
+		buf = appendJSONString(buf, t.Value)
+		if t.Lang != "" {
+			buf = append(buf, `,"xml:lang":`...)
+			buf = appendJSONString(buf, t.Lang)
+		}
+		if t.Datatype != "" {
+			buf = append(buf, `,"datatype":`...)
+			buf = appendJSONString(buf, t.Datatype)
+		}
+	}
+	return append(buf, '}')
+}
+
+const hexDigits = "0123456789abcdef"
+
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c < utf8.RuneSelf {
+			i++
+			continue
+		}
+		if c < utf8.RuneSelf {
+			buf = append(buf, s[start:i]...)
+			switch c {
+			case '"':
+				buf = append(buf, '\\', '"')
+			case '\\':
+				buf = append(buf, '\\', '\\')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, `�`...)
+			i++
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// jsonScanner is a minimal JSON pull parser over a byte slice with a string
+// intern table shared across the document.
+type jsonScanner struct {
+	data   []byte
+	pos    int
+	intern map[string]string
+	buf    []byte // scratch for unescaping
+}
+
+func (s *jsonScanner) errAt(msg string) error {
+	return fmt.Errorf("sparql: malformed results JSON at offset %d: %s", s.pos, msg)
+}
+
+func (s *jsonScanner) skipWS() {
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+// peek returns the next non-whitespace byte without consuming it.
+func (s *jsonScanner) peek() (byte, error) {
+	s.skipWS()
+	if s.pos >= len(s.data) {
+		return 0, s.errAt("unexpected end of input")
+	}
+	return s.data[s.pos], nil
+}
+
+func (s *jsonScanner) expect(c byte) error {
+	got, err := s.peek()
+	if err != nil {
+		return err
+	}
+	if got != c {
+		return s.errAt(fmt.Sprintf("expected %q, found %q", c, got))
+	}
+	s.pos++
+	return nil
+}
+
+func (s *jsonScanner) internBytes(b []byte) string {
+	if v, ok := s.intern[string(b)]; ok {
+		return v
+	}
+	v := string(b)
+	s.intern[v] = v
+	return v
+}
+
+// parseString parses a JSON string (cursor on the opening quote) and
+// returns its interned value.
+func (s *jsonScanner) parseString() (string, error) {
+	if err := s.expect('"'); err != nil {
+		return "", err
+	}
+	start := s.pos
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		if c == '"' {
+			raw := s.data[start:s.pos]
+			s.pos++
+			return s.internBytes(raw), nil
+		}
+		if c == '\\' {
+			return s.parseStringSlow(start)
+		}
+		if c < 0x20 {
+			return "", s.errAt("control character in string")
+		}
+		s.pos++
+	}
+	return "", s.errAt("unterminated string")
+}
+
+// parseStringSlow finishes a string containing escapes; the cursor sits on
+// the first backslash and start marks the byte after the opening quote.
+func (s *jsonScanner) parseStringSlow(start int) (string, error) {
+	s.buf = append(s.buf[:0], s.data[start:s.pos]...)
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		switch {
+		case c == '"':
+			s.pos++
+			return s.internBytes(s.buf), nil
+		case c == '\\':
+			s.pos++
+			if s.pos >= len(s.data) {
+				return "", s.errAt("dangling escape")
+			}
+			e := s.data[s.pos]
+			s.pos++
+			switch e {
+			case '"', '\\', '/':
+				s.buf = append(s.buf, e)
+			case 'b':
+				s.buf = append(s.buf, '\b')
+			case 'f':
+				s.buf = append(s.buf, '\f')
+			case 'n':
+				s.buf = append(s.buf, '\n')
+			case 'r':
+				s.buf = append(s.buf, '\r')
+			case 't':
+				s.buf = append(s.buf, '\t')
+			case 'u':
+				r, err := s.parseHex4()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(rune(r)) {
+					if s.pos+1 < len(s.data) && s.data[s.pos] == '\\' && s.data[s.pos+1] == 'u' {
+						s.pos += 2
+						r2, err := s.parseHex4()
+						if err != nil {
+							return "", err
+						}
+						if dec := utf16.DecodeRune(rune(r), rune(r2)); dec != utf8.RuneError {
+							s.buf = utf8.AppendRune(s.buf, dec)
+							continue
+						}
+						// Lone surrogate: emit one replacement and rewind
+						// so the second escape is processed on its own (it
+						// may be a valid char or the lead of a new pair).
+						s.pos -= 6
+						s.buf = utf8.AppendRune(s.buf, utf8.RuneError)
+						continue
+					}
+					s.buf = utf8.AppendRune(s.buf, utf8.RuneError)
+					continue
+				}
+				s.buf = utf8.AppendRune(s.buf, rune(r))
+			default:
+				return "", s.errAt(fmt.Sprintf("unknown escape \\%c", e))
+			}
+		case c < 0x20:
+			return "", s.errAt("control character in string")
+		default:
+			s.buf = append(s.buf, c)
+			s.pos++
+		}
+	}
+	return "", s.errAt("unterminated string")
+}
+
+func (s *jsonScanner) parseHex4() (uint32, error) {
+	if s.pos+4 > len(s.data) {
+		return 0, s.errAt("truncated \\u escape")
+	}
+	var v uint32
+	for i := 0; i < 4; i++ {
+		c := s.data[s.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint32(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint32(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			v = v<<4 | uint32(c-'A'+10)
+		default:
+			return 0, s.errAt("bad \\u escape")
+		}
+	}
+	s.pos += 4
+	return v, nil
+}
+
+// skipValue consumes any JSON value.
+func (s *jsonScanner) skipValue() error {
+	c, err := s.peek()
+	if err != nil {
+		return err
+	}
+	switch c {
+	case '{':
+		s.pos++
+		return s.skipUntil('}', func() error {
+			if _, err := s.parseString(); err != nil {
+				return err
+			}
+			if err := s.expect(':'); err != nil {
+				return err
+			}
+			return s.skipValue()
+		})
+	case '[':
+		s.pos++
+		return s.skipUntil(']', s.skipValue)
+	case '"':
+		_, err := s.parseString()
+		return err
+	case 't':
+		return s.literal("true")
+	case 'f':
+		return s.literal("false")
+	case 'n':
+		return s.literal("null")
+	default:
+		if c == '-' || (c >= '0' && c <= '9') {
+			s.pos++
+			for s.pos < len(s.data) {
+				c := s.data[s.pos]
+				if c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' || (c >= '0' && c <= '9') {
+					s.pos++
+					continue
+				}
+				break
+			}
+			return nil
+		}
+		return s.errAt("unexpected value")
+	}
+}
+
+// skipUntil consumes comma-separated elements via one until close appears.
+func (s *jsonScanner) skipUntil(close byte, one func() error) error {
+	c, err := s.peek()
+	if err != nil {
+		return err
+	}
+	if c == close {
+		s.pos++
+		return nil
+	}
+	for {
+		if err := one(); err != nil {
+			return err
+		}
+		c, err := s.peek()
+		if err != nil {
+			return err
+		}
+		s.pos++
+		if c == close {
+			return nil
+		}
+		if c != ',' {
+			return s.errAt("expected ',' or close")
+		}
+	}
+}
+
+func (s *jsonScanner) literal(lit string) error {
+	if s.pos+len(lit) > len(s.data) || string(s.data[s.pos:s.pos+len(lit)]) != lit {
+		return s.errAt("bad literal")
+	}
+	s.pos += len(lit)
+	return nil
+}
+
+// UnmarshalJSON decodes the SPARQL JSON results format.
+func (r *Results) UnmarshalJSON(data []byte) error {
+	s := &jsonScanner{data: data, intern: make(map[string]string, 64)}
+	if err := s.expect('{'); err != nil {
+		return err
+	}
+	var vars []string
+	headSeen := false
+	// When "results" precedes "head" (legal JSON, unknown column set) the
+	// bindings span is remembered and re-parsed after the object completes.
+	pendingBindings := -1
+	var rows [][]rdf.Term
+	err := s.skipUntil('}', func() error {
+		key, err := s.parseString()
+		if err != nil {
+			return err
+		}
+		if err := s.expect(':'); err != nil {
+			return err
+		}
+		switch key {
+		case "head":
+			vs, err := s.parseHead()
+			if err != nil {
+				return err
+			}
+			vars, headSeen = vs, true
+			return nil
+		case "results":
+			if !headSeen {
+				pendingBindings = s.pos
+				return s.skipValue()
+			}
+			rows, err = s.parseResults(vars)
+			return err
+		default:
+			return s.skipValue()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.skipWS()
+	if s.pos != len(s.data) {
+		return s.errAt("trailing data after results")
+	}
+	if pendingBindings >= 0 {
+		s.pos = pendingBindings
+		rows, err = s.parseResults(vars)
+		if err != nil {
+			return err
+		}
+	}
+	r.Vars = vars
+	if rows == nil {
+		rows = [][]rdf.Term{}
+	}
+	r.Rows = rows
+	return nil
+}
+
+// parseHead parses the "head" object and returns its vars list.
+func (s *jsonScanner) parseHead() ([]string, error) {
+	if err := s.expect('{'); err != nil {
+		return nil, err
+	}
+	var vars []string
+	err := s.skipUntil('}', func() error {
+		key, err := s.parseString()
+		if err != nil {
+			return err
+		}
+		if err := s.expect(':'); err != nil {
+			return err
+		}
+		if key != "vars" {
+			return s.skipValue()
+		}
+		if err := s.expect('['); err != nil {
+			return err
+		}
+		vars = []string{}
+		return s.skipUntil(']', func() error {
+			v, err := s.parseString()
+			if err != nil {
+				return err
+			}
+			vars = append(vars, v)
+			return nil
+		})
+	})
+	return vars, err
+}
+
+// parseResults parses the "results" object into rows over vars.
+func (s *jsonScanner) parseResults(vars []string) ([][]rdf.Term, error) {
+	varIdx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	rows := [][]rdf.Term{}
+	if err := s.expect('{'); err != nil {
+		return nil, err
+	}
+	err := s.skipUntil('}', func() error {
+		key, err := s.parseString()
+		if err != nil {
+			return err
+		}
+		if err := s.expect(':'); err != nil {
+			return err
+		}
+		if key != "bindings" {
+			return s.skipValue()
+		}
+		if err := s.expect('['); err != nil {
+			return err
+		}
+		return s.skipUntil(']', func() error {
+			row := make([]rdf.Term, len(vars))
+			if err := s.expect('{'); err != nil {
+				return err
+			}
+			rowIdx := len(rows)
+			err := s.skipUntil('}', func() error {
+				v, err := s.parseString()
+				if err != nil {
+					return err
+				}
+				if err := s.expect(':'); err != nil {
+					return err
+				}
+				col, known := varIdx[v]
+				if !known {
+					return s.skipValue()
+				}
+				t, err := s.parseTerm()
+				if err != nil {
+					return fmt.Errorf("sparql: row %d var %s: %w", rowIdx, v, err)
+				}
+				row[col] = t
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			return nil
+		})
+	})
+	return rows, err
+}
+
+// parseTerm parses one RDF term object.
+func (s *jsonScanner) parseTerm() (rdf.Term, error) {
+	var jt jsonTerm
+	if err := s.expect('{'); err != nil {
+		return rdf.Term{}, err
+	}
+	err := s.skipUntil('}', func() error {
+		key, err := s.parseString()
+		if err != nil {
+			return err
+		}
+		if err := s.expect(':'); err != nil {
+			return err
+		}
+		switch key {
+		case "type":
+			jt.Type, err = s.parseString()
+		case "value":
+			jt.Value, err = s.parseString()
+		case "xml:lang":
+			jt.Lang, err = s.parseString()
+		case "datatype":
+			jt.Datatype, err = s.parseString()
+		default:
+			err = s.skipValue()
+		}
+		return err
+	})
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return decodeTerm(jt)
+}

@@ -1,0 +1,95 @@
+package sparql
+
+import (
+	"testing"
+
+	"rdfframes/internal/rdf"
+)
+
+// Tests pinning the hand-rolled codec to the behavior of the encoding/json
+// implementation it replaced.
+
+func TestResultsUnmarshalEscapes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string // JSON-escaped literal value
+		want string
+	}{
+		{"simple", `a\"b\\c\/d\tx`, "a\"b\\c/d\tx"},
+		{"controls", `\b\f\n\r`, "\b\f\n\r"},
+		{"unicode", `é世`, "é世"},
+		{"surrogate pair", `😀`, "😀"},
+		{"lone lead surrogate", `\ud800x`, "�x"},
+		{"lone trail surrogate", `\udc00`, "�"},
+		// The escape after an unpaired surrogate must survive on its own.
+		{"lone surrogate then char escape", `\ud800A`, "�A"},
+		{"lone surrogate then valid pair", `\ud800😀`, "�😀"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := `{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"literal","value":"` + tc.in + `"}}]}}`
+			var r Results
+			if err := r.UnmarshalJSON([]byte(in)); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Rows[0][0].Value; got != tc.want {
+				t.Fatalf("value = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestResultsUnmarshalHeadAfterResults(t *testing.T) {
+	// Legal JSON key order: bindings arrive before the column list.
+	in := `{"results":{"bindings":[{"x":{"type":"uri","value":"http://a"}}]},"head":{"vars":["x"]}}`
+	var r Results
+	if err := r.UnmarshalJSON([]byte(in)); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Vars) != 1 || r.Rows[0][0] != rdf.NewIRI("http://a") {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestResultsUnmarshalSkipsUnknownFields(t *testing.T) {
+	in := `{"head":{"vars":["x"],"link":["http://meta"]},"results":{"distinct":false,"bindings":[` +
+		`{"x":{"type":"literal","value":"v","extra":[1,{"y":null}]},"unprojected":{"type":"uri","value":"http://z"}}]}}`
+	var r Results
+	if err := r.UnmarshalJSON([]byte(in)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0] != rdf.NewLiteral("v") {
+		t.Fatalf("got %+v", r.Rows[0][0])
+	}
+}
+
+func TestResultsUnmarshalRejectsTruncated(t *testing.T) {
+	for _, in := range []string{
+		`{"head":{"vars":["x"]},"results":{"bindings":[{"x":`,
+		`{"head":{"vars":["x"]}`,
+		`{"head":{"vars":["x"]},"results":{"bindings":[]}} trailing`,
+	} {
+		var r Results
+		if err := r.UnmarshalJSON([]byte(in)); err == nil {
+			t.Fatalf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestResultsMarshalEscapes(t *testing.T) {
+	r := &Results{
+		Vars: []string{"x"},
+		Rows: [][]rdf.Term{{rdf.NewLiteral("a\"b\\c\nd\te\x01é")}},
+	}
+	data, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatalf("own output does not reparse: %v\n%s", err, data)
+	}
+	if back.Rows[0][0] != r.Rows[0][0] {
+		t.Fatalf("round trip: %q != %q", back.Rows[0][0].Value, r.Rows[0][0].Value)
+	}
+}

@@ -71,11 +71,12 @@ type IDTriple struct {
 // that repeated queries return rows in the same order, which the client's
 // LIMIT/OFFSET pagination relies on.
 type Graph struct {
-	spo    map[ID]map[ID][]ID // subject -> predicate -> objects
-	pos    map[ID]map[ID][]ID // predicate -> object -> subjects
-	osp    map[ID]map[ID][]ID // object -> subject -> predicates
-	byPred map[ID][]IDTriple  // predicate -> triples in insertion order
-	all    []IDTriple         // every triple in insertion order
+	spo    map[ID]map[ID][]ID    // subject -> predicate -> objects
+	pos    map[ID]map[ID][]ID    // predicate -> object -> subjects
+	osp    map[ID]map[ID][]ID    // object -> subject -> predicates
+	byPred map[ID][]IDTriple     // predicate -> triples in insertion order
+	all    []IDTriple            // every triple in insertion order
+	set    map[IDTriple]struct{} // membership, for O(1) duplicate checks
 	n      int
 }
 
@@ -85,16 +86,26 @@ func newGraph() *Graph {
 		pos:    make(map[ID]map[ID][]ID),
 		osp:    make(map[ID]map[ID][]ID),
 		byPred: make(map[ID][]IDTriple),
+		set:    make(map[IDTriple]struct{}),
 	}
 }
 
 // Len returns the number of triples in the graph.
 func (g *Graph) Len() int { return g.n }
 
+// contains reports whether the graph holds the fully-bound triple.
+func (g *Graph) contains(t IDTriple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
 func (g *Graph) add(t IDTriple) {
-	if idxContains(g.spo, t.S, t.P, t.O) {
+	// A set membership check rather than a scan of spo[s][p]: the scan made
+	// bulk loading quadratic in the fan-out of each (s,p) group.
+	if g.contains(t) {
 		return
 	}
+	g.set[t] = struct{}{}
 	idxAdd(g.spo, t.S, t.P, t.O)
 	idxAdd(g.pos, t.P, t.O, t.S)
 	idxAdd(g.osp, t.O, t.S, t.P)
@@ -110,19 +121,6 @@ func idxAdd(m map[ID]map[ID][]ID, a, b, c ID) {
 		m[a] = inner
 	}
 	inner[b] = append(inner[b], c)
-}
-
-func idxContains(m map[ID]map[ID][]ID, a, b, c ID) bool {
-	inner, ok := m[a]
-	if !ok {
-		return false
-	}
-	for _, v := range inner[b] {
-		if v == c {
-			return true
-		}
-	}
-	return false
 }
 
 // Store holds a dictionary and a set of named graphs.
@@ -268,7 +266,7 @@ func (s *Store) MatchAny(graphURIs []string, pat IDTriple, yield func(IDTriple) 
 func (g *Graph) Match(pat IDTriple, yield func(IDTriple) bool) {
 	switch {
 	case pat.S != 0 && pat.P != 0 && pat.O != 0:
-		if idxContains(g.spo, pat.S, pat.P, pat.O) {
+		if g.contains(pat) {
 			yield(pat)
 		}
 	case pat.S != 0 && pat.P != 0:
@@ -342,7 +340,7 @@ func (g *Graph) Count(pat IDTriple) int {
 func (g *Graph) Cardinality(pat IDTriple) int {
 	switch {
 	case pat.S != 0 && pat.P != 0 && pat.O != 0:
-		if idxContains(g.spo, pat.S, pat.P, pat.O) {
+		if g.contains(pat) {
 			return 1
 		}
 		return 0
