@@ -10,6 +10,9 @@
 //
 //	benchrunner                 # all figures, small scale
 //	benchrunner -scale bench -fig 5 -timeout 60s
+//	benchrunner -fig 5,storage -out BENCH_sparql.json
+//	benchrunner -snapshot data.snap -fig 5   # reopen dataset from snapshot
+//	benchrunner -data ./data -fig 5          # load dbpedia/dblp/yago .nt files
 //	benchrunner -verify         # also verify result equality across approaches
 package main
 
@@ -18,20 +21,25 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"rdfframes/internal/bench"
 	"rdfframes/internal/datagen"
+	"rdfframes/internal/snapshot"
+	"rdfframes/internal/store"
 )
 
 func main() {
 	var (
 		scaleFlag = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
-		figFlag   = flag.String("fig", "3,4,5", "comma-separated figures to run")
+		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage")`)
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
 		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
 		out       = flag.String("out", "", "also write measurements as JSON to this file (e.g. BENCH_sparql.json)")
+		snapPath  = flag.String("snapshot", "", "load the dataset from this snapshot file instead of generating it")
+		dataDir   = flag.String("data", "", "load dbpedia.nt/dblp.nt/yago.nt from this directory instead of generating")
 	)
 	flag.Parse()
 
@@ -42,14 +50,17 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleFlag)
 	}
 
-	fmt.Fprintf(os.Stderr, "generating datasets (%s scale)...\n", *scaleFlag)
-	env, err := bench.NewEnv(scale)
+	env, scaleName, err := buildEnv(scale, *scaleFlag, *snapPath, *dataDir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer env.Close()
 	for _, uri := range []string{datagen.DBpediaURI, datagen.DBLPURI, datagen.YAGOURI} {
-		fmt.Fprintf(os.Stderr, "  <%s>: %d triples\n", uri, env.Store.Graph(uri).Len())
+		n := 0
+		if g := env.Store.Graph(uri); g != nil {
+			n = g.Len()
+		}
+		fmt.Fprintf(os.Stderr, "  <%s>: %d triples\n", uri, n)
 	}
 
 	if *verify {
@@ -68,9 +79,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "all approaches agree on all tasks")
 	}
 
-	report := &bench.JSONReport{Scale: *scaleFlag}
+	report := &bench.JSONReport{Scale: scaleName}
 	for _, fig := range strings.Split(*figFlag, ",") {
 		switch strings.TrimSpace(fig) {
+		case "storage":
+			fmt.Fprintln(os.Stderr, "measuring storage lifecycle (parse vs snapshot reopen)...")
+			rep, err := bench.MeasureStorage(env, "")
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Storage = rep
+			fmt.Println(bench.FormatStorage(rep))
 		case "3":
 			rows := bench.RunFigure3(env, *timeout)
 			report.Add("3", rows)
@@ -103,5 +122,57 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+// buildEnv sets up the benchmark environment from one of three sources: a
+// binary snapshot, a directory of N-Triples dumps, or freshly generated
+// synthetic data. The returned name labels the dataset in the JSON report.
+func buildEnv(scale bench.Scale, scaleName, snapPath, dataDir string) (*bench.Env, string, error) {
+	switch {
+	case snapPath != "":
+		fmt.Fprintf(os.Stderr, "reopening dataset from snapshot %s...\n", snapPath)
+		start := time.Now()
+		st, err := snapshot.ReadFile(snapPath)
+		if err != nil {
+			return nil, "", err
+		}
+		fmt.Fprintf(os.Stderr, "  %d triples in %v\n", st.Len(), time.Since(start))
+		env, err := bench.NewEnvFromStore(st)
+		return env, "snapshot:" + filepath.Base(snapPath), err
+	case dataDir != "":
+		fmt.Fprintf(os.Stderr, "loading N-Triples dumps from %s...\n", dataDir)
+		st := store.New()
+		// Fixed load order: graph and dictionary-id assignment must be
+		// deterministic so repeated runs (and snapshots written from this
+		// store) are reproducible.
+		for _, g := range []struct{ name, uri string }{
+			{"dbpedia", datagen.DBpediaURI}, {"dblp", datagen.DBLPURI}, {"yago", datagen.YAGOURI},
+		} {
+			name, uri := g.name, g.uri
+			path := filepath.Join(dataDir, name+".nt")
+			f, err := os.Open(path)
+			if os.IsNotExist(err) {
+				continue
+			}
+			if err != nil {
+				return nil, "", err
+			}
+			n, err := st.LoadNTriplesParallel(uri, f, 0)
+			f.Close()
+			if err != nil {
+				return nil, "", fmt.Errorf("loading %s: %w", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "  %s: %d triples\n", path, n)
+		}
+		if st.Len() == 0 {
+			return nil, "", fmt.Errorf("no dbpedia.nt/dblp.nt/yago.nt found in %s", dataDir)
+		}
+		env, err := bench.NewEnvFromStore(st)
+		return env, "data:" + dataDir, err
+	default:
+		fmt.Fprintf(os.Stderr, "generating datasets (%s scale)...\n", scaleName)
+		env, err := bench.NewEnv(scale)
+		return env, scaleName, err
 	}
 }

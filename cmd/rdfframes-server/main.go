@@ -1,13 +1,20 @@
 // Command rdfframes-server serves a SPARQL endpoint over an RDF dataset:
-// either N-Triples files loaded from disk or the built-in synthetic
-// benchmark datasets. It is the stand-in for the RDF engine (Virtuoso) in
-// the paper's experimental setup.
+// a binary snapshot reopened from disk, N-Triples files loaded (in
+// parallel) from disk, or the built-in synthetic benchmark datasets. It is
+// the stand-in for the RDF engine (Virtuoso) in the paper's experimental
+// setup.
 //
 // Usage:
 //
 //	rdfframes-server -listen :8080 -synthetic small
 //	rdfframes-server -listen :8080 -load http://g1=dump1.nt -load http://g2=dump2.nt
+//	rdfframes-server -listen :8080 -snapshot data.snap
+//	rdfframes-server -load http://g1=dump1.nt -write-snapshot data.snap ...
 //	rdfframes-server -maxrows 10000 -timeout 30s ...
+//
+// -snapshot opens a store persisted by -write-snapshot (or by datagen
+// -snapshot) in milliseconds instead of re-parsing text; combine
+// -load with -write-snapshot once to convert a text dataset.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"rdfframes/internal/datagen"
 	"rdfframes/internal/server"
+	"rdfframes/internal/snapshot"
 	"rdfframes/internal/sparql"
 	"rdfframes/internal/store"
 )
@@ -35,7 +43,10 @@ func main() {
 	var (
 		listen    = flag.String("listen", ":8080", "address to serve on")
 		synthetic = flag.String("synthetic", "", `generate synthetic datasets instead of loading: "small" or "bench"`)
+		snapIn    = flag.String("snapshot", "", "open the store from this snapshot file (fast cold start)")
+		snapOut   = flag.String("write-snapshot", "", "after loading, persist the store to this snapshot file")
 		maxRows   = flag.Int("maxrows", 0, "cap rows per response (0 = unlimited); clients must paginate past it")
+		maxBody   = flag.Int64("maxbody", 0, "cap POST body bytes (0 = 1 MiB default); oversized queries get 413")
 		timeout   = flag.Duration("timeout", time.Minute, "per-query evaluation deadline (0 = none)")
 		loads     loadFlags
 	)
@@ -43,14 +54,23 @@ func main() {
 	flag.Parse()
 
 	st := store.New()
+	if *snapIn != "" {
+		start := time.Now()
+		var err error
+		st, err = snapshot.ReadFile(*snapIn)
+		if err != nil {
+			log.Fatalf("opening snapshot %s: %v", *snapIn, err)
+		}
+		log.Printf("reopened %d triples from %s in %v", st.Len(), *snapIn, time.Since(start))
+	}
 	switch *synthetic {
 	case "small":
 		mustLoadSynthetic(st, datagen.SmallDBpedia(), datagen.SmallDBLP(), datagen.SmallYAGO())
 	case "bench":
 		mustLoadSynthetic(st, datagen.BenchDBpedia(), datagen.BenchDBLP(), datagen.BenchYAGO())
 	case "":
-		if len(loads) == 0 {
-			fmt.Fprintln(os.Stderr, "nothing to serve: pass -synthetic small|bench or -load graph=file.nt")
+		if len(loads) == 0 && *snapIn == "" {
+			fmt.Fprintln(os.Stderr, "nothing to serve: pass -synthetic small|bench, -snapshot file.snap, or -load graph=file.nt")
 			os.Exit(2)
 		}
 	default:
@@ -65,23 +85,32 @@ func main() {
 		if err != nil {
 			log.Fatalf("opening %s: %v", parts[1], err)
 		}
+		start := time.Now()
 		var n int
 		if strings.HasSuffix(parts[1], ".ttl") || strings.HasSuffix(parts[1], ".turtle") {
 			n, err = st.LoadTurtle(parts[0], f)
 		} else {
-			n, err = st.LoadNTriples(parts[0], f)
+			n, err = st.LoadNTriplesParallel(parts[0], f, 0)
 		}
 		f.Close()
 		if err != nil {
 			log.Fatalf("loading %s: %v", parts[1], err)
 		}
-		log.Printf("loaded %d triples into <%s>", n, parts[0])
+		log.Printf("loaded %d triples into <%s> in %v", n, parts[0], time.Since(start))
+	}
+	if *snapOut != "" {
+		start := time.Now()
+		if err := snapshot.WriteFile(*snapOut, st); err != nil {
+			log.Fatalf("writing snapshot %s: %v", *snapOut, err)
+		}
+		log.Printf("persisted %d triples to %s in %v", st.Len(), *snapOut, time.Since(start))
 	}
 
 	eng := sparql.NewEngine(st)
-	eng.Timeout = *timeout
+	eng.SetTimeout(*timeout)
 	srv := server.New(eng)
 	srv.MaxRows = *maxRows
+	srv.MaxBodyBytes = *maxBody
 	srv.Logger = log.Default()
 
 	for _, uri := range st.GraphURIs() {

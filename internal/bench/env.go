@@ -84,6 +84,30 @@ func NewEnv(scale Scale) (*Env, error) {
 			return nil, err
 		}
 	}
+	return newEnv(st, triples)
+}
+
+// NewEnvFromStore builds a benchmark environment around an already-loaded
+// store — e.g. one reopened from a snapshot or parsed from on-disk dumps —
+// deriving the decoded triple slices the client-side baselines need.
+func NewEnvFromStore(st *store.Store) (*Env, error) {
+	triples := make(map[string][]rdf.Triple, len(st.GraphURIs()))
+	for _, uri := range st.GraphURIs() {
+		g := st.Graph(uri)
+		ts := make([]rdf.Triple, 0, g.Len())
+		for _, tr := range g.Triples() {
+			ts = append(ts, rdf.Triple{
+				S: st.Dict().Decode(tr.S),
+				P: st.Dict().Decode(tr.P),
+				O: st.Dict().Decode(tr.O),
+			})
+		}
+		triples[uri] = ts
+	}
+	return newEnv(st, triples)
+}
+
+func newEnv(st *store.Store, triples map[string][]rdf.Triple) (*Env, error) {
 	nt := make(map[string][]byte, len(triples))
 	for uri, ts := range triples {
 		var buf bytes.Buffer
@@ -201,7 +225,7 @@ var ErrWallClock = fmt.Errorf("bench: wall-clock timeout")
 // the wall clock is abandoned; its goroutine finishes in the background.
 func (t *Task) Measure(env *Env, a Approach, timeout time.Duration) Measurement {
 	scoped := *env
-	env.Engine.Timeout = timeout // shared HTTP endpoint; harness is serial
+	env.Engine.SetTimeout(timeout) // shared HTTP endpoint; stragglers may still read it
 	scoped.deadline = time.Now().Add(timeout)
 
 	done := make(chan Measurement, 1)

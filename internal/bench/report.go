@@ -157,6 +157,9 @@ type JSONMeasurement struct {
 type JSONReport struct {
 	Scale        string            `json:"scale"`
 	Measurements []JSONMeasurement `json:"measurements"`
+	// Storage holds the storage-lifecycle numbers (data load and snapshot
+	// reopen timings) when benchrunner measured them.
+	Storage *StorageReport `json:"storage,omitempty"`
 }
 
 // Add appends every measurement of the figure's rows to the report.

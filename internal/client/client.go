@@ -52,16 +52,37 @@ func (c *HTTPClient) httpClient() *http.Client {
 }
 
 // Select executes the query, paginating transparently, and returns the full
-// result set.
+// result set. Pagination continues while either a chunk comes back full or
+// the endpoint flags it truncated (X-Truncated, the server-side MaxRows
+// cap), so a server cap smaller than the client's page size still yields
+// complete results. Even with PageSize <= 0 (pagination off) a truncated
+// first response triggers LIMIT/OFFSET resumption — Select never knowingly
+// returns a partial result.
 func (c *HTTPClient) Select(query string) (*sparql.Results, error) {
 	if c.PageSize <= 0 {
-		return c.fetch(query)
+		res, truncated, err := c.fetch(query)
+		if err != nil || !truncated {
+			return res, err
+		}
+		// Pagination is off but the endpoint cut the result anyway: resume
+		// with LIMIT/OFFSET pages sized to the cap the server just revealed,
+		// rather than silently returning a partial result.
+		if len(res.Rows) == 0 {
+			return res, nil
+		}
+		return c.paginateFrom(query, res, len(res.Rows), len(res.Rows))
 	}
-	var all *sparql.Results
-	offset := 0
+	return c.paginateFrom(query, nil, c.PageSize, 0)
+}
+
+// paginateFrom retrieves the remainder of query's results in pages of
+// pageSize rows starting at offset, appending onto seed (the rows already
+// in hand, nil when starting fresh).
+func (c *HTTPClient) paginateFrom(query string, seed *sparql.Results, pageSize, offset int) (*sparql.Results, error) {
+	all := seed
 	for {
-		chunkQuery := paginate(query, c.PageSize, offset)
-		chunk, err := c.fetch(chunkQuery)
+		chunkQuery := paginate(query, pageSize, offset)
+		chunk, truncated, err := c.fetch(chunkQuery)
 		if err != nil {
 			return nil, fmt.Errorf("client: chunk at offset %d: %w", offset, err)
 		}
@@ -73,14 +94,16 @@ func (c *HTTPClient) Select(query string) (*sparql.Results, error) {
 			}
 			all.Rows = append(all.Rows, chunk.Rows...)
 		}
-		if len(chunk.Rows) < c.PageSize {
+		if len(chunk.Rows) == 0 || (len(chunk.Rows) < pageSize && !truncated) {
 			return all, nil
 		}
-		offset += c.PageSize
+		// Advance by rows actually received: a truncated chunk is shorter
+		// than the page requested.
+		offset += len(chunk.Rows)
 	}
 }
 
-func (c *HTTPClient) fetch(query string) (*sparql.Results, error) {
+func (c *HTTPClient) fetch(query string) (*sparql.Results, bool, error) {
 	retries := c.MaxRetries
 	if retries <= 0 {
 		retries = 2
@@ -90,19 +113,19 @@ func (c *HTTPClient) fetch(query string) (*sparql.Results, error) {
 		if attempt > 0 {
 			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
 		}
-		res, retryable, err := c.fetchOnce(query)
+		res, truncated, retryable, err := c.fetchOnce(query)
 		if err == nil {
-			return res, nil
+			return res, truncated, nil
 		}
 		lastErr = err
 		if !retryable {
-			return nil, err
+			return nil, false, err
 		}
 	}
-	return nil, fmt.Errorf("client: giving up after retries: %w", lastErr)
+	return nil, false, fmt.Errorf("client: giving up after retries: %w", lastErr)
 }
 
-func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, retryable bool, err error) {
+func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated, retryable bool, err error) {
 	var resp *http.Response
 	if c.UsePost {
 		form := url.Values{"query": {query}}
@@ -111,19 +134,19 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, retryable boo
 		resp, err = c.httpClient().Get(c.Endpoint + "?query=" + url.QueryEscape(query))
 	}
 	if err != nil {
-		return nil, true, err
+		return nil, false, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		err := fmt.Errorf("client: endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
-		return nil, resp.StatusCode >= 500, err
+		return nil, false, resp.StatusCode >= 500, err
 	}
 	r, err := sparql.ReadJSON(resp.Body)
 	if err != nil {
-		return nil, true, fmt.Errorf("client: decoding results: %w", err)
+		return nil, false, true, fmt.Errorf("client: decoding results: %w", err)
 	}
-	return r, false, nil
+	return r, resp.Header.Get("X-Truncated") == "true", false, nil
 }
 
 // paginate wraps a query as a subquery with LIMIT/OFFSET, hoisting PREFIX

@@ -1,0 +1,142 @@
+package rdf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// syntheticNT builds an N-Triples document of n statements with comments and
+// blank lines sprinkled in, large enough to span several parser chunks when
+// repeated.
+func syntheticNT(n int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# generated test document\n\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "<http://ex/s%06d> <http://ex/p%d> \"value %d with a reasonably long padding payload\" .\n", i, i%7, i)
+		if i%97 == 0 {
+			buf.WriteString("# interleaved comment\n\n")
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	doc := syntheticNT(20000) // ~2 MB, several chunks
+	want, err := NewNTriplesReader(bytes.NewReader(doc)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		got, err := ParseNTriplesParallelAll(bytes.NewReader(doc), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel parse diverges from serial (%d vs %d triples)", workers, len(got), len(want))
+		}
+	}
+}
+
+func TestParallelNoTrailingNewline(t *testing.T) {
+	doc := strings.TrimSuffix(string(syntheticNT(3000)), "\n")
+	want, err := NewNTriplesReader(strings.NewReader(doc)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseNTriplesParallelAll(strings.NewReader(doc), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d triples, want %d", len(got), len(want))
+	}
+}
+
+func TestParallelEmptyInput(t *testing.T) {
+	got, err := ParseNTriplesParallelAll(strings.NewReader(""), 4)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %d triples, err %v", len(got), err)
+	}
+}
+
+func TestParallelErrorCarriesAbsoluteLine(t *testing.T) {
+	// Corrupt one statement deep in the document; the reported line number
+	// must be document-absolute even though the error occurs mid-chunk.
+	doc := syntheticNT(20000)
+	lines := bytes.Split(doc, []byte{'\n'})
+	badLine := 15000
+	lines[badLine-1] = []byte("this is not a triple")
+	doc = bytes.Join(lines, []byte{'\n'})
+
+	_, err := ParseNTriplesParallelAll(bytes.NewReader(doc), 4)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.Line != badLine {
+		t.Fatalf("error line = %d, want %d", pe.Line, badLine)
+	}
+}
+
+func TestParallelEmitErrorStopsEarly(t *testing.T) {
+	doc := syntheticNT(20000)
+	stop := errors.New("stop")
+	calls := 0
+	err := ParseNTriplesParallel(bytes.NewReader(doc), 4, func(batch []Triple) error {
+		calls++
+		return stop
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("emit called %d times after error, want 1", calls)
+	}
+}
+
+func TestParallelBatchesArriveInDocumentOrder(t *testing.T) {
+	doc := syntheticNT(20000)
+	next := 0
+	err := ParseNTriplesParallel(bytes.NewReader(doc), 4, func(batch []Triple) error {
+		for _, tr := range batch {
+			want := fmt.Sprintf("http://ex/s%06d", next)
+			if tr.S.Value != want {
+				return fmt.Errorf("out of order: got %s, want %s", tr.S.Value, want)
+			}
+			next++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 20000 {
+		t.Fatalf("emitted %d triples, want 20000", next)
+	}
+}
+
+func BenchmarkParseNTriplesSerial(b *testing.B) {
+	doc := syntheticNT(50000)
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewNTriplesReader(bytes.NewReader(doc)).ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseNTriplesParallel(b *testing.B) {
+	doc := syntheticNT(50000)
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNTriplesParallelAll(bytes.NewReader(doc), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

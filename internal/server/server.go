@@ -12,13 +12,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"rdfframes/internal/sparql"
 )
+
+// defaultMaxBodyBytes caps POST bodies when the caller sets no limit: 1 MiB
+// is far beyond any RDFFrames-generated query.
+const defaultMaxBodyBytes = 1 << 20
 
 // Server is a SPARQL protocol endpoint over an engine.
 type Server struct {
@@ -27,6 +33,9 @@ type Server struct {
 	// MaxRows caps the number of rows per response (0 = unlimited). When a
 	// result is truncated the server sets the X-Truncated header.
 	MaxRows int
+	// MaxBodyBytes caps the size of POST request bodies (0 = 1 MiB).
+	// Oversized bodies are rejected with 413 Request Entity Too Large.
+	MaxBodyBytes int64
 	// Logger, when set, records one line per request.
 	Logger *log.Logger
 }
@@ -53,21 +62,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		query = r.URL.Query().Get("query")
 	case http.MethodPost:
-		ct := r.Header.Get("Content-Type")
-		if ct == "application/sparql-query" {
-			buf := make([]byte, 0, 4096)
-			tmp := make([]byte, 4096)
-			for {
-				n, err := r.Body.Read(tmp)
-				buf = append(buf, tmp[:n]...)
-				if err != nil {
-					break
-				}
+		limit := s.MaxBodyBytes
+		if limit <= 0 {
+			limit = defaultMaxBodyBytes
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+		if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				s.rejectBody(w, err, limit)
+				return
 			}
-			query = string(buf)
+			query = string(body)
 		} else {
 			if err := r.ParseForm(); err != nil {
-				http.Error(w, "malformed form body", http.StatusBadRequest)
+				s.rejectBody(w, err, limit)
 				return
 			}
 			query = r.PostForm.Get("query")
@@ -121,6 +130,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Graph < stats[j].Graph })
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)
+}
+
+// rejectBody answers a failed POST body read: 413 when the MaxBytesReader
+// cap fired, 400 for any other malformed body.
+func (s *Server) rejectBody(w http.ResponseWriter, err error, limit int64) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		http.Error(w, fmt.Sprintf("query body exceeds %d bytes", limit), http.StatusRequestEntityTooLarge)
+		s.logf("query body over %d bytes rejected", limit)
+		return
+	}
+	http.Error(w, "malformed request body", http.StatusBadRequest)
 }
 
 func (s *Server) logf(format string, args ...any) {

@@ -151,7 +151,7 @@ func TestServerTimeoutStatus(t *testing.T) {
 		})
 	}
 	eng := sparql.NewEngine(st)
-	eng.Timeout = time.Nanosecond
+	eng.SetTimeout(time.Nanosecond)
 	ts := httptest.NewServer(New(eng).Handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(
@@ -162,6 +162,65 @@ func TestServerTimeoutStatus(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsOversizedRawBody(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	big := strings.Repeat("x", 2048)
+	resp, err := http.Post(ts.URL+"/sparql", "application/sparql-query", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d for in-limit body", resp.StatusCode)
+	}
+
+	// Lower the cap below the body size: the server must answer 413, not
+	// read the stream to exhaustion.
+	st := store.New()
+	srv := New(sparql.NewEngine(st))
+	srv.MaxBodyBytes = 1024
+	ts2 := httptest.NewServer(srv.Handler())
+	defer ts2.Close()
+	resp2, err := http.Post(ts2.URL+"/sparql", "application/sparql-query", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp2.StatusCode)
+	}
+}
+
+func TestServerRejectsOversizedFormBody(t *testing.T) {
+	st := store.New()
+	srv := New(sparql.NewEngine(st))
+	srv.MaxBodyBytes = 512
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	form := url.Values{"query": {strings.Repeat("y", 4096)}}
+	resp, err := http.PostForm(ts.URL+"/sparql", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestServerPostRawSPARQLWithCharsetParam(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	body := strings.NewReader(`SELECT * WHERE { ?s <http://ex/p> ?o }`)
+	resp, err := http.Post(ts.URL+"/sparql", "application/sparql-query; charset=utf-8", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"sync/atomic"
 	"time"
 
 	"rdfframes/internal/store"
@@ -14,8 +15,10 @@ type Engine struct {
 	// DefaultGraphs are queried when a query has no FROM clause. Empty
 	// means the union of all graphs in the store.
 	DefaultGraphs []string
-	// Timeout bounds query execution; zero disables the deadline.
-	Timeout time.Duration
+	// timeout bounds query execution; zero disables the deadline. Atomic
+	// because callers (the benchmark harness, an operator endpoint) retune
+	// it while queries may still be evaluating on server goroutines.
+	timeout atomic.Int64
 	// DisableReorder turns off greedy join ordering, evaluating triple
 	// patterns in textual order (for ablation benchmarks).
 	DisableReorder bool
@@ -26,6 +29,14 @@ type Engine struct {
 
 // NewEngine returns an engine over st with no default-graph restriction.
 func NewEngine(st *store.Store) *Engine { return &Engine{Store: st} }
+
+// SetTimeout bounds each query evaluation; zero disables the deadline.
+// Safe to call concurrently with running queries, which sample it when
+// evaluation starts.
+func (e *Engine) SetTimeout(d time.Duration) { e.timeout.Store(int64(d)) }
+
+// Timeout returns the per-query evaluation deadline.
+func (e *Engine) Timeout() time.Duration { return time.Duration(e.timeout.Load()) }
 
 // Query parses and evaluates a SELECT query, returning its solutions.
 func (e *Engine) Query(src string) (*Results, error) {
@@ -45,8 +56,8 @@ func (e *Engine) Eval(q *Query) (*Results, error) {
 		disableReorder:  e.DisableReorder,
 		disablePushdown: e.DisablePushdown,
 	}
-	if e.Timeout > 0 {
-		ev.deadline = time.Now().Add(e.Timeout)
+	if d := e.Timeout(); d > 0 {
+		ev.deadline = time.Now().Add(d)
 	}
 	return ev.evalQuery(q, e.DefaultGraphs)
 }

@@ -339,7 +339,7 @@ func TestEvalTimeout(t *testing.T) {
 		})
 	}
 	e := NewEngine(s)
-	e.Timeout = time.Nanosecond
+	e.SetTimeout(time.Nanosecond)
 	_, err := e.Query(`SELECT * WHERE { ?a <http://ex/p> ?x . ?b <http://ex/p> ?y . ?c <http://ex/p> ?z }`)
 	if err != ErrTimeout {
 		t.Fatalf("err = %v, want ErrTimeout", err)

@@ -18,10 +18,15 @@ import (
 // ID is a dictionary-encoded term identifier. 0 is never assigned.
 type ID uint32
 
+// MaxTerms is the maximum number of terms a Dictionary can intern: ids are
+// uint32 and id 0 is reserved as the unbound sentinel.
+const MaxTerms = 1<<32 - 1
+
 // Dictionary interns terms to dense ids and back.
 type Dictionary struct {
 	byTerm map[rdf.Term]ID
 	byID   []rdf.Term // byID[0] is a placeholder; ids start at 1
+	limit  uint64     // id-space cap; 0 means MaxTerms (lowered only in tests)
 }
 
 // NewDictionary returns an empty dictionary.
@@ -32,16 +37,58 @@ func NewDictionary() *Dictionary {
 	}
 }
 
-// Encode interns t, returning its id (allocating one if new).
+// NewDictionaryFromTerms rebuilds a dictionary whose ids are 1..len(terms)
+// in slice order, as recorded by a snapshot. It rejects unbound terms,
+// duplicates, and term counts that exceed the uint32 id space, all of which
+// indicate a corrupted term table.
+func NewDictionaryFromTerms(terms []rdf.Term) (*Dictionary, error) {
+	if uint64(len(terms)) > MaxTerms {
+		return nil, fmt.Errorf("store: term table holds %d terms, exceeding the %d id space", len(terms), uint64(MaxTerms))
+	}
+	d := &Dictionary{
+		byTerm: make(map[rdf.Term]ID, len(terms)),
+		byID:   make([]rdf.Term, 1, len(terms)+1),
+	}
+	for _, t := range terms {
+		if !t.IsBound() {
+			return nil, fmt.Errorf("store: unbound term at id %d in term table", len(d.byID))
+		}
+		if _, dup := d.byTerm[t]; dup {
+			return nil, fmt.Errorf("store: duplicate term %s in term table", t)
+		}
+		id := ID(len(d.byID))
+		d.byTerm[t] = id
+		d.byID = append(d.byID, t)
+	}
+	return d, nil
+}
+
+func (d *Dictionary) maxTerms() uint64 {
+	if d.limit != 0 {
+		return d.limit
+	}
+	return MaxTerms
+}
+
+// Encode interns t, returning its id (allocating one if new). It panics if
+// the dictionary is full: the id space is uint32, and wrapping past it would
+// silently alias distinct terms.
 func (d *Dictionary) Encode(t rdf.Term) ID {
 	if id, ok := d.byTerm[t]; ok {
 		return id
+	}
+	if uint64(len(d.byID)) > d.maxTerms() {
+		panic(fmt.Sprintf("store: dictionary overflow: cannot intern more than %d terms into the uint32 id space", d.maxTerms()))
 	}
 	id := ID(len(d.byID))
 	d.byTerm[t] = id
 	d.byID = append(d.byID, t)
 	return id
 }
+
+// Terms returns the interned terms in id order (id 1 first). The returned
+// slice aliases the dictionary's internal table and must not be modified.
+func (d *Dictionary) Terms() []rdf.Term { return d.byID[1:] }
 
 // Lookup returns the id of t if it is already interned.
 func (d *Dictionary) Lookup(t rdf.Term) (ID, bool) {
@@ -93,13 +140,47 @@ func newGraph() *Graph {
 // Len returns the number of triples in the graph.
 func (g *Graph) Len() int { return g.n }
 
-// contains reports whether the graph holds the fully-bound triple.
+// Triples returns every triple in insertion order. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Triples() []IDTriple { return g.all }
+
+// IndexImage exposes the graph's three adjacency indexes for serialization.
+// The maps alias the graph's internal storage and must not be modified.
+func (g *Graph) IndexImage() (spo, pos, osp map[ID]map[ID][]ID) {
+	return g.spo, g.pos, g.osp
+}
+
+// contains reports whether the graph holds the fully-bound triple. Sealed
+// graphs (bulk-loaded from a snapshot, set == nil) scan the (s,p) group
+// instead of keeping a membership map; the fan-out of a single (s,p) pair is
+// small, and skipping the map build is a large part of why reopening a
+// snapshot beats re-parsing.
 func (g *Graph) contains(t IDTriple) bool {
+	if g.set == nil {
+		for _, o := range g.spo[t.S][t.P] {
+			if o == t.O {
+				return true
+			}
+		}
+		return false
+	}
 	_, ok := g.set[t]
 	return ok
 }
 
+// unseal materializes the membership set of a bulk-loaded graph so that
+// incremental adds get back their O(1) duplicate check.
+func (g *Graph) unseal() {
+	g.set = make(map[IDTriple]struct{}, len(g.all))
+	for _, t := range g.all {
+		g.set[t] = struct{}{}
+	}
+}
+
 func (g *Graph) add(t IDTriple) {
+	if g.set == nil {
+		g.unseal()
+	}
 	// A set membership check rather than a scan of spo[s][p]: the scan made
 	// bulk loading quadratic in the fan-out of each (s,p) group.
 	if g.contains(t) {
@@ -133,6 +214,12 @@ type Store struct {
 // New returns an empty store.
 func New() *Store {
 	return &Store{dict: NewDictionary(), graphs: make(map[string]*Graph)}
+}
+
+// NewWithDictionary returns an empty store over a pre-built dictionary, the
+// entry point for snapshot reconstruction.
+func NewWithDictionary(d *Dictionary) *Store {
+	return &Store{dict: d, graphs: make(map[string]*Graph)}
 }
 
 // Dict exposes the store's dictionary.
@@ -180,6 +267,69 @@ func (s *Store) AddAll(graphURI string, triples []rdf.Triple) error {
 	return nil
 }
 
+// BulkGraph installs a complete graph from dictionary-encoded triples in
+// one step, deriving the indexes here and delegating the install to
+// BulkGraphIndexed. The caller guarantees the triples are duplicate-free;
+// only id validity is checked. The graph is built "sealed" — without the
+// duplicate-check membership set — which a later incremental Add rebuilds
+// lazily. BulkGraph takes ownership of the triples slice.
+func (s *Store) BulkGraph(graphURI string, triples []IDTriple) error {
+	maxID := ID(s.dict.Len())
+	spo := make(map[ID]map[ID][]ID, len(triples)/4+1)
+	pos := make(map[ID]map[ID][]ID, 64)
+	osp := make(map[ID]map[ID][]ID, len(triples)/4+1)
+	for _, t := range triples {
+		if t.S == 0 || t.S > maxID || t.P == 0 || t.P > maxID || t.O == 0 || t.O > maxID {
+			return fmt.Errorf("store: triple (%d %d %d) references an id outside the %d-term dictionary", t.S, t.P, t.O, maxID)
+		}
+		idxAdd(spo, t.S, t.P, t.O)
+		idxAdd(pos, t.P, t.O, t.S)
+		idxAdd(osp, t.O, t.S, t.P)
+	}
+	return s.BulkGraphIndexed(graphURI, triples, spo, pos, osp)
+}
+
+// BulkGraphIndexed installs a complete graph from its serialized index
+// image — triples in insertion order plus the three adjacency maps — in one
+// step, the snapshot-reopen fast path: no per-triple map insertion happens
+// at all. The caller (the snapshot reader, whose file is checksummed and
+// id-validated) guarantees the image is consistent with the triple list;
+// only the byPred projection is derived here, exactly presized from pos.
+// The graph is installed "sealed" (see BulkGraph) and takes ownership of
+// every argument.
+func (s *Store) BulkGraphIndexed(graphURI string, triples []IDTriple, spo, pos, osp map[ID]map[ID][]ID) error {
+	if g := s.graphs[graphURI]; g != nil && g.n > 0 {
+		return fmt.Errorf("store: bulk load into non-empty graph <%s>", graphURI)
+	}
+	g := &Graph{
+		spo:    spo,
+		pos:    pos,
+		osp:    osp,
+		byPred: make(map[ID][]IDTriple, len(pos)),
+		all:    triples,
+		n:      len(triples),
+	}
+	for p, objs := range pos {
+		n := 0
+		for _, subs := range objs {
+			n += len(subs)
+		}
+		g.byPred[p] = make([]IDTriple, 0, n)
+	}
+	for _, t := range triples {
+		g.byPred[t.P] = append(g.byPred[t.P], t)
+	}
+	s.installGraph(graphURI, g)
+	return nil
+}
+
+func (s *Store) installGraph(graphURI string, g *Graph) {
+	if s.graphs[graphURI] == nil {
+		s.order = append(s.order, graphURI)
+	}
+	s.graphs[graphURI] = g
+}
+
 // LoadNTriples parses an N-Triples document from r into the named graph and
 // returns the number of triples loaded.
 func (s *Store) LoadNTriples(graphURI string, r io.Reader) (int, error) {
@@ -198,6 +348,24 @@ func (s *Store) LoadNTriples(graphURI string, r io.Reader) (int, error) {
 		}
 		n++
 	}
+}
+
+// LoadNTriplesParallel parses an N-Triples document with a pool of parser
+// workers and merges the parsed triples into the named graph from this
+// (single writer) goroutine, preserving document order. workers <= 0 uses
+// one worker per available CPU. It returns the number of triples merged.
+func (s *Store) LoadNTriplesParallel(graphURI string, r io.Reader, workers int) (int, error) {
+	n := 0
+	err := rdf.ParseNTriplesParallel(r, workers, func(batch []rdf.Triple) error {
+		for _, t := range batch {
+			if err := s.Add(graphURI, t); err != nil {
+				return err
+			}
+		}
+		n += len(batch)
+		return nil
+	})
+	return n, err
 }
 
 // LoadTurtle parses a Turtle document from r into the named graph and
