@@ -10,10 +10,16 @@
 //
 //	benchrunner                 # all figures, small scale
 //	benchrunner -scale bench -fig 5 -timeout 60s
-//	benchrunner -fig 5,storage -out BENCH_sparql.json
+//	benchrunner -fig 5,storage,serving -out BENCH_sparql.json
+//	benchrunner -bestof 3       # keep the best of 3 runs per measurement
 //	benchrunner -snapshot data.snap -fig 5   # reopen dataset from snapshot
 //	benchrunner -data ./data -fig 5          # load dbpedia/dblp/yago .nt files
 //	benchrunner -verify         # also verify result equality across approaches
+//
+// -fig serving runs the repeated-query serving workload: every Figure-5
+// query issued over HTTP cold (no cache) and warm (plan + result caches),
+// plus a full paginated client materialization, recording QPS and cache
+// hit/miss counters.
 package main
 
 import (
@@ -31,11 +37,17 @@ import (
 	"rdfframes/internal/store"
 )
 
+// servingWarmRequests is how many warm repeats of each query the serving
+// workload averages over; enough to swamp per-request jitter without
+// making the suite slow.
+const servingWarmRequests = 30
+
 func main() {
 	var (
 		scaleFlag = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
-		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage")`)
+		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving")`)
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
+		bestOf    = flag.Int("bestof", 1, "rerun each measured phase N times and keep the best (use >=3 when regenerating committed numbers)")
 		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
 		out       = flag.String("out", "", "also write measurements as JSON to this file (e.g. BENCH_sparql.json)")
 		snapPath  = flag.String("snapshot", "", "load the dataset from this snapshot file instead of generating it")
@@ -79,7 +91,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "all approaches agree on all tasks")
 	}
 
-	report := &bench.JSONReport{Scale: scaleName}
+	report := &bench.JSONReport{Scale: scaleName, BestOf: *bestOf}
 	for _, fig := range strings.Split(*figFlag, ",") {
 		switch strings.TrimSpace(fig) {
 		case "storage":
@@ -90,20 +102,28 @@ func main() {
 			}
 			report.Storage = rep
 			fmt.Println(bench.FormatStorage(rep))
+		case "serving":
+			fmt.Fprintln(os.Stderr, "measuring serving layer (repeated queries, cold vs warm cache)...")
+			rep, err := bench.MeasureServing(env, servingWarmRequests, *bestOf, *timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Serving = rep
+			fmt.Println(bench.FormatServing(rep))
 		case "3":
-			rows := bench.RunFigure3(env, *timeout)
+			rows := bench.RunFigure3(env, *timeout, *bestOf)
 			report.Add("3", rows)
 			fmt.Println(bench.FormatFigure(
 				"Figure 3: evaluating the design of RDFFrames (case studies, seconds)",
 				rows, []bench.Approach{bench.Naive, bench.NavPandas, bench.RDFFrames}))
 		case "4":
-			rows := bench.RunFigure4(env, *timeout)
+			rows := bench.RunFigure4(env, *timeout, *bestOf)
 			report.Add("4", rows)
 			fmt.Println(bench.FormatFigure(
 				"Figure 4: comparing RDFFrames to alternative baselines (case studies, seconds)",
 				rows, []bench.Approach{bench.ScanPandas, bench.SPARQLPandas, bench.Expert, bench.RDFFrames}))
 		case "5":
-			rows := bench.RunFigure5(env, *timeout)
+			rows := bench.RunFigure5(env, *timeout, *bestOf)
 			report.Add("5", rows)
 			fmt.Println(bench.FormatFigure5(rows))
 		default:

@@ -48,6 +48,8 @@ func main() {
 		maxRows   = flag.Int("maxrows", 0, "cap rows per response (0 = unlimited); clients must paginate past it")
 		maxBody   = flag.Int64("maxbody", 0, "cap POST body bytes (0 = 1 MiB default); oversized queries get 413")
 		timeout   = flag.Duration("timeout", time.Minute, "per-query evaluation deadline (0 = none)")
+		cacheOn   = flag.Bool("cache", true, "enable the serving caches (parsed plans + store-versioned results with pagination-aware slicing)")
+		cacheRows = flag.Int64("cache-rows", sparql.DefaultResultCacheRows, "result cache budget in total cached rows (roughly 64 MB at the default); 0 caches plans only")
 		loads     loadFlags
 	)
 	flag.Var(&loads, "load", "graphURI=file.nt pair to load (repeatable)")
@@ -108,6 +110,10 @@ func main() {
 
 	eng := sparql.NewEngine(st)
 	eng.SetTimeout(*timeout)
+	if *cacheOn {
+		eng.EnableCache(sparql.DefaultPlanCacheEntries, *cacheRows)
+		log.Printf("serving caches on: %d plan entries, %d result rows", sparql.DefaultPlanCacheEntries, *cacheRows)
+	}
 	srv := server.New(eng)
 	srv.MaxRows = *maxRows
 	srv.MaxBodyBytes = *maxBody
@@ -116,7 +122,7 @@ func main() {
 	for _, uri := range st.GraphURIs() {
 		log.Printf("graph <%s>: %d triples", uri, st.Graph(uri).Len())
 	}
-	log.Printf("SPARQL endpoint on %s/sparql (maxrows=%d, timeout=%v)", *listen, *maxRows, *timeout)
+	log.Printf("SPARQL endpoint on %s/sparql (maxrows=%d, timeout=%v, cache=%v)", *listen, *maxRows, *timeout, *cacheOn)
 	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
 }
 

@@ -126,12 +126,12 @@ func TestMeasureReportsTimeout(t *testing.T) {
 
 func TestFigureFormatting(t *testing.T) {
 	env := sharedEnv(t)
-	rows := runTasks(env, CaseStudies()[2:3], []Approach{Expert, RDFFrames}, time.Minute)
+	rows := runTasks(env, CaseStudies()[2:3], []Approach{Expert, RDFFrames}, time.Minute, 1)
 	out := FormatFigure("Figure 4 excerpt", rows, []Approach{Expert, RDFFrames})
 	if !strings.Contains(out, "cs3") || !strings.Contains(out, "Expert") {
 		t.Fatalf("format output missing fields:\n%s", out)
 	}
-	f5 := runTasks(env, Synthetic()[:2], []Approach{Expert, Naive, RDFFrames}, time.Minute)
+	f5 := runTasks(env, Synthetic()[:2], []Approach{Expert, Naive, RDFFrames}, time.Minute, 2)
 	out5 := FormatFigure5(f5)
 	if !strings.Contains(out5, "naive/expert") {
 		t.Fatalf("figure 5 output malformed:\n%s", out5)

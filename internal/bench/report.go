@@ -20,34 +20,61 @@ type FigureRow struct {
 
 // RunFigure3 reproduces Figure 3 (effectiveness of the design decisions):
 // the three case studies under naive query generation, navigation +
-// dataframes, and RDFFrames.
-func RunFigure3(env *Env, timeout time.Duration) []FigureRow {
-	return runTasks(env, CaseStudies(), []Approach{Naive, NavPandas, RDFFrames}, timeout)
+// dataframes, and RDFFrames. bestOf reruns each measurement that many
+// times and keeps the fastest (see runTasks).
+func RunFigure3(env *Env, timeout time.Duration, bestOf int) []FigureRow {
+	return runTasks(env, CaseStudies(), []Approach{Naive, NavPandas, RDFFrames}, timeout, bestOf)
 }
 
 // RunFigure4 reproduces Figure 4 (comparison against baselines): the three
 // case studies under scan + dataframes, per-pattern SPARQL + dataframes,
 // expert SPARQL, and RDFFrames.
-func RunFigure4(env *Env, timeout time.Duration) []FigureRow {
-	return runTasks(env, CaseStudies(), []Approach{ScanPandas, SPARQLPandas, Expert, RDFFrames}, timeout)
+func RunFigure4(env *Env, timeout time.Duration, bestOf int) []FigureRow {
+	return runTasks(env, CaseStudies(), []Approach{ScanPandas, SPARQLPandas, Expert, RDFFrames}, timeout, bestOf)
 }
 
 // RunFigure5 reproduces Figure 5: the 15 synthetic queries under naive
 // generation and RDFFrames, reported as ratios to expert SPARQL.
-func RunFigure5(env *Env, timeout time.Duration) []FigureRow {
-	return runTasks(env, Synthetic(), []Approach{Expert, Naive, RDFFrames}, timeout)
+func RunFigure5(env *Env, timeout time.Duration, bestOf int) []FigureRow {
+	return runTasks(env, Synthetic(), []Approach{Expert, Naive, RDFFrames}, timeout, bestOf)
 }
 
-func runTasks(env *Env, tasks []*Task, approaches []Approach, timeout time.Duration) []FigureRow {
+// runTasks measures every task under every approach. Each (task,
+// approach) pair is measured bestOf times and the fastest successful run
+// is kept: the bench box is a single shared core, so a best-of-N rejects
+// one-off scheduler noise the same way the storage benchmarks do.
+func runTasks(env *Env, tasks []*Task, approaches []Approach, timeout time.Duration, bestOf int) []FigureRow {
+	if bestOf < 1 {
+		bestOf = 1
+	}
 	rows := make([]FigureRow, 0, len(tasks))
 	for _, task := range tasks {
 		row := FigureRow{Task: task.ID, Name: task.Name, Measurements: map[Approach]Measurement{}}
 		for _, a := range measurementOrder(approaches) {
-			row.Measurements[a] = task.Measure(env, a, timeout)
+			best := task.Measure(env, a, timeout)
+			for i := 1; i < bestOf; i++ {
+				m := task.Measure(env, a, timeout)
+				if betterMeasurement(m, best) {
+					best = m
+				}
+			}
+			row.Measurements[a] = best
 		}
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// betterMeasurement prefers any success over any failure, then the
+// shorter duration.
+func betterMeasurement(m, cur Measurement) bool {
+	if m.Err != nil {
+		return false
+	}
+	if cur.Err != nil {
+		return true
+	}
+	return m.Duration < cur.Duration
 }
 
 // measurementOrder measures the cheap engine-bounded approaches before the
@@ -155,11 +182,17 @@ type JSONMeasurement struct {
 // JSONReport is the machine-readable benchmark record benchrunner emits
 // (BENCH_sparql.json), for tracking engine performance across changes.
 type JSONReport struct {
-	Scale        string            `json:"scale"`
+	Scale string `json:"scale"`
+	// BestOf records how many runs each figure measurement is the best of
+	// (the benchrunner -bestof setting; 1 = single runs).
+	BestOf       int               `json:"best_of,omitempty"`
 	Measurements []JSONMeasurement `json:"measurements"`
 	// Storage holds the storage-lifecycle numbers (data load and snapshot
 	// reopen timings) when benchrunner measured them.
 	Storage *StorageReport `json:"storage,omitempty"`
+	// Serving holds the repeated-query serving-layer numbers (cold vs warm
+	// throughput and cache behaviour) when benchrunner measured them.
+	Serving *ServingReport `json:"serving,omitempty"`
 }
 
 // Add appends every measurement of the figure's rows to the report.

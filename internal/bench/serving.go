@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"time"
+
+	"rdfframes/internal/client"
+	"rdfframes/internal/server"
+	"rdfframes/internal/sparql"
+)
+
+// ServingQuery is one Figure-5 query measured on the serving path: a cold
+// (uncached) HTTP round trip versus warm repeats against the caching
+// endpoint.
+type ServingQuery struct {
+	Task string `json:"task"`
+	Rows int    `json:"rows"`
+	// ColdSeconds is one full round trip against an uncached endpoint.
+	ColdSeconds float64 `json:"cold_seconds"`
+	// WarmSeconds is the per-request time of repeated requests against the
+	// caching endpoint after the first fill.
+	WarmSeconds float64 `json:"warm_seconds"`
+	// Speedup is ColdSeconds / WarmSeconds.
+	Speedup float64 `json:"speedup"`
+	// ByteIdentical records that the cached endpoint's responses (both the
+	// filling miss and a subsequent hit) were byte-identical SPARQL JSON
+	// to the uncached endpoint's.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// ServingPagination measures a full paginated client materialization — the
+// paper's Executor re-issuing one logical query as k LIMIT/OFFSET pages —
+// against the caching endpoint.
+type ServingPagination struct {
+	Task     string `json:"task"`
+	Rows     int    `json:"rows"`
+	PageSize int    `json:"page_size"`
+	// Pages is the number of page requests the client issued.
+	Pages int `json:"pages"`
+	// Evaluations is how many query evaluations the sweep cost (result
+	// cache misses); pagination-aware slicing makes this exactly 1.
+	Evaluations uint64 `json:"evaluations"`
+	// WarmEvaluations is the evaluation count of a repeat sweep (0 when
+	// every page is served by slicing the cached result).
+	WarmEvaluations  uint64  `json:"warm_evaluations"`
+	ColdSweepSeconds float64 `json:"cold_sweep_seconds"`
+	WarmSweepSeconds float64 `json:"warm_sweep_seconds"`
+}
+
+// ServingReport captures the serving-layer benchmark: the Figure-5 suite
+// issued repeatedly over HTTP against cached and uncached endpoints.
+type ServingReport struct {
+	// WarmRequests is how many warm requests each query's warm phase
+	// averages over; BestOf is how many rounds each timed phase keeps the
+	// best of.
+	WarmRequests int `json:"warm_requests"`
+	BestOf       int `json:"best_of"`
+	// ColdQPS and WarmQPS aggregate across the suite (requests per second
+	// of sequential round trips); WarmSpeedup is their ratio.
+	ColdQPS     float64 `json:"cold_qps"`
+	WarmQPS     float64 `json:"warm_qps"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+
+	Queries    []ServingQuery     `json:"queries"`
+	Pagination *ServingPagination `json:"pagination,omitempty"`
+	// Cache is the caching engine's final counter snapshot.
+	Cache sparql.CacheStats `json:"cache"`
+}
+
+// MeasureServing runs the repeated-query serving workload: every Figure-5
+// query (the RDFFrames-generated SPARQL — the text a pipeline would send
+// again and again) is issued over HTTP cold (uncached endpoint) and warm
+// (caching endpoint, warmRequests repeats), with byte-identity checked
+// between the two endpoints; then one full paginated materialization runs
+// against the caching endpoint to count evaluations per page sweep. Both
+// endpoints share env's store but use their own engines, leaving env's
+// own endpoint cache-free.
+func MeasureServing(env *Env, warmRequests, bestOf int, timeout time.Duration) (*ServingReport, error) {
+	if warmRequests < 1 {
+		warmRequests = 1
+	}
+	if bestOf < 1 {
+		bestOf = 1
+	}
+
+	cachedEng := sparql.NewEngine(env.Store)
+	cachedEng.SetTimeout(timeout)
+	cachedEng.EnableCache(sparql.DefaultPlanCacheEntries, sparql.DefaultResultCacheRows)
+	cachedSrv := httptest.NewServer(server.New(cachedEng).Handler())
+	defer cachedSrv.Close()
+
+	plainEng := sparql.NewEngine(env.Store)
+	plainEng.SetTimeout(timeout)
+	plainSrv := httptest.NewServer(server.New(plainEng).Handler())
+	defer plainSrv.Close()
+
+	cachedURL := cachedSrv.URL + "/sparql"
+	plainURL := plainSrv.URL + "/sparql"
+
+	rep := &ServingReport{WarmRequests: warmRequests, BestOf: bestOf}
+	var totalColdPerReq, totalWarmPerReq float64
+	var maxRows, maxRowsIdx int
+
+	for i, task := range Synthetic() {
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			return nil, fmt.Errorf("bench serving %s: %w", task.ID, err)
+		}
+
+		// Byte identity: uncached body vs the caching endpoint's filling
+		// miss and a subsequent hit.
+		want, err := fetchBody(plainURL, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench serving %s: uncached: %w", task.ID, err)
+		}
+		fill, err := fetchBody(cachedURL, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench serving %s: cache fill: %w", task.ID, err)
+		}
+		hit, err := fetchBody(cachedURL, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench serving %s: cache hit: %w", task.ID, err)
+		}
+		identical := string(want) == string(fill) && string(want) == string(hit)
+
+		res, err := sparql.ReadJSON(strings.NewReader(string(want)))
+		if err != nil {
+			return nil, fmt.Errorf("bench serving %s: decode: %w", task.ID, err)
+		}
+
+		sq := ServingQuery{Task: task.ID, Rows: len(res.Rows), ByteIdentical: identical}
+		if len(res.Rows) > maxRows {
+			maxRows, maxRowsIdx = len(res.Rows), i
+		}
+
+		// Cold: full evaluation + serialization on the uncached endpoint.
+		cold, err := timeBestSeconds(bestOf, func() error {
+			_, err := fetchBody(plainURL, query)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench serving %s: cold timing: %w", task.ID, err)
+		}
+		sq.ColdSeconds = cold
+
+		// Warm: the cache is already filled; repeats measure the pure
+		// HTTP + slicing + serialization path.
+		warmTotal, err := timeBestSeconds(bestOf, func() error {
+			for r := 0; r < warmRequests; r++ {
+				if _, err := fetchBody(cachedURL, query); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench serving %s: warm timing: %w", task.ID, err)
+		}
+		sq.WarmSeconds = warmTotal / float64(warmRequests)
+		if sq.WarmSeconds > 0 {
+			sq.Speedup = sq.ColdSeconds / sq.WarmSeconds
+		}
+		totalColdPerReq += sq.ColdSeconds
+		totalWarmPerReq += sq.WarmSeconds
+		rep.Queries = append(rep.Queries, sq)
+	}
+
+	if totalColdPerReq > 0 {
+		rep.ColdQPS = float64(len(rep.Queries)) / totalColdPerReq
+	}
+	if totalWarmPerReq > 0 {
+		rep.WarmQPS = float64(len(rep.Queries)) / totalWarmPerReq
+		rep.WarmSpeedup = totalColdPerReq / totalWarmPerReq
+	}
+
+	// Paginated materialization of the largest result: the client sweeps
+	// the query in pages; pagination-aware slicing must answer the whole
+	// sweep with exactly one evaluation, and a repeat sweep with zero.
+	if maxRows > 0 {
+		task := Synthetic()[maxRowsIdx]
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			return nil, err
+		}
+		pageSize := maxRows/8 + 1
+		pg := &ServingPagination{Task: task.ID, PageSize: pageSize}
+		c := client.NewHTTPClient(cachedURL, pageSize)
+
+		before := cachedEng.CacheStats()
+		coldStart := time.Now()
+		res, err := c.Select(query)
+		if err != nil {
+			return nil, fmt.Errorf("bench serving: paginated sweep: %w", err)
+		}
+		pg.ColdSweepSeconds = time.Since(coldStart).Seconds()
+		mid := cachedEng.CacheStats()
+
+		warmStart := time.Now()
+		res2, err := c.Select(query)
+		if err != nil {
+			return nil, fmt.Errorf("bench serving: repeat paginated sweep: %w", err)
+		}
+		pg.WarmSweepSeconds = time.Since(warmStart).Seconds()
+		after := cachedEng.CacheStats()
+
+		if len(res.Rows) != maxRows || len(res2.Rows) != maxRows {
+			return nil, fmt.Errorf("bench serving: paginated sweep returned %d then %d rows, want %d",
+				len(res.Rows), len(res2.Rows), maxRows)
+		}
+		pg.Rows = maxRows
+		pg.Evaluations = mid.Results.Misses - before.Results.Misses
+		pg.WarmEvaluations = after.Results.Misses - mid.Results.Misses
+		pg.Pages = int((mid.Results.Misses + mid.Results.Hits) - (before.Results.Misses + before.Results.Hits))
+		rep.Pagination = pg
+	}
+
+	rep.Cache = cachedEng.CacheStats()
+	return rep, nil
+}
+
+// fetchBody issues one GET round trip and returns the (decoded) body.
+func fetchBody(endpoint, query string) ([]byte, error) {
+	resp, err := http.Get(endpoint + "?query=" + url.QueryEscape(query))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}
+
+// timeBestSeconds runs f rounds times and returns the fastest wall-clock
+// seconds.
+func timeBestSeconds(rounds int, f func() error) (float64, error) {
+	var best time.Duration
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if i == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best.Seconds(), nil
+}
+
+// FormatServing renders the serving-layer numbers as a text table.
+func FormatServing(rep *ServingReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serving layer: repeated-query throughput, cold (uncached) vs warm (plan+result cache)\n")
+	fmt.Fprintf(&sb, "%-6s %8s %14s %14s %10s %6s\n", "query", "rows", "cold (s)", "warm (s)", "speedup", "same")
+	for _, q := range rep.Queries {
+		same := "yes"
+		if !q.ByteIdentical {
+			same = "NO"
+		}
+		fmt.Fprintf(&sb, "%-6s %8d %14.6f %14.6f %9.1fx %6s\n",
+			q.Task, q.Rows, q.ColdSeconds, q.WarmSeconds, q.Speedup, same)
+	}
+	fmt.Fprintf(&sb, "suite: cold %.1f q/s -> warm %.1f q/s (%.1fx, %d warm requests/query, best of %d)\n",
+		rep.ColdQPS, rep.WarmQPS, rep.WarmSpeedup, rep.WarmRequests, rep.BestOf)
+	if pg := rep.Pagination; pg != nil {
+		fmt.Fprintf(&sb, "paginated materialization (%s, %d rows, page %d): %d pages, %d evaluation(s) cold / %d warm; %.4fs -> %.4fs\n",
+			pg.Task, pg.Rows, pg.PageSize, pg.Pages, pg.Evaluations, pg.WarmEvaluations,
+			pg.ColdSweepSeconds, pg.WarmSweepSeconds)
+	}
+	c := rep.Cache
+	fmt.Fprintf(&sb, "cache: results %d hits / %d misses / %d evictions; plans %d hits / %d misses\n",
+		c.Results.Hits, c.Results.Misses, c.Results.Evictions, c.Plans.Hits, c.Plans.Misses)
+	return sb.String()
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMeasureServing runs the serving workload at small scale and checks
+// the acceptance invariants: byte-identical cached responses for every
+// Figure-5 query, and a paginated materialization costing exactly one
+// evaluation cold and zero warm.
+func TestMeasureServing(t *testing.T) {
+	env := sharedEnv(t)
+	rep, err := MeasureServing(env, 3, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries) != len(Synthetic()) {
+		t.Fatalf("measured %d queries, want %d", len(rep.Queries), len(Synthetic()))
+	}
+	for _, q := range rep.Queries {
+		if !q.ByteIdentical {
+			t.Errorf("%s: cached response not byte-identical to uncached", q.Task)
+		}
+	}
+	pg := rep.Pagination
+	if pg == nil {
+		t.Fatal("no pagination measurement")
+	}
+	if pg.Evaluations != 1 {
+		t.Fatalf("cold paginated sweep cost %d evaluations, want exactly 1", pg.Evaluations)
+	}
+	if pg.WarmEvaluations != 0 {
+		t.Fatalf("warm paginated sweep cost %d evaluations, want 0", pg.WarmEvaluations)
+	}
+	if pg.Pages < 2 {
+		t.Fatalf("pagination exercised only %d page(s)", pg.Pages)
+	}
+	if rep.WarmQPS <= 0 || rep.ColdQPS <= 0 {
+		t.Fatalf("bad throughput numbers: %+v", rep)
+	}
+	out := FormatServing(rep)
+	if !strings.Contains(out, "paginated materialization") || !strings.Contains(out, "cache:") {
+		t.Fatalf("format output malformed:\n%s", out)
+	}
+}

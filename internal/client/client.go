@@ -5,6 +5,7 @@
 package client
 
 import (
+	"compress/gzip"
 	"fmt"
 	"io"
 	"net/http"
@@ -142,7 +143,20 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated, re
 		err := fmt.Errorf("client: endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
 		return nil, false, resp.StatusCode >= 500, err
 	}
-	r, err := sparql.ReadJSON(resp.Body)
+	// Go's default transport negotiates and decompresses gzip by itself
+	// (and then hides the header); a Content-Encoding that is still
+	// visible means a custom client or explicit Accept-Encoding was used,
+	// so decode here to keep compression transparent to callers.
+	body := io.Reader(resp.Body)
+	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
+		gz, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			return nil, false, true, fmt.Errorf("client: gzip response: %w", err)
+		}
+		defer gz.Close()
+		body = gz
+	}
+	r, err := sparql.ReadJSON(body)
 	if err != nil {
 		return nil, false, true, fmt.Errorf("client: decoding results: %w", err)
 	}

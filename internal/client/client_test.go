@@ -212,3 +212,32 @@ func TestPaginateWrapsWithLimitOffset(t *testing.T) {
 		t.Fatalf("paginated query does not parse: %v\n%s", err, q)
 	}
 }
+
+// TestSelectDecodesGzipResponses drives the client through a gzip-encoded
+// round trip with a transport whose automatic decompression is disabled,
+// exercising the client's own Content-Encoding handling.
+func TestSelectDecodesGzipResponses(t *testing.T) {
+	ep := newEndpoint(t, 30, 0)
+	c := NewHTTPClient(ep, 10)
+	c.HTTP = &http.Client{Transport: &gzipForcingTransport{}}
+	res, err := c.Select(`SELECT * WHERE { ?s <http://ex/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 30 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+// gzipForcingTransport requests gzip explicitly, which stops net/http from
+// transparently decompressing and leaves Content-Encoding visible.
+type gzipForcingTransport struct{}
+
+func (gzipForcingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err == nil && resp.Header.Get("Content-Encoding") == "" {
+		return nil, fmt.Errorf("test transport: endpoint did not gzip")
+	}
+	return resp, err
+}

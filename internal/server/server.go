@@ -6,9 +6,16 @@
 // at a configurable row cap (Virtuoso's ResultSetMaxRows), so clients must
 // paginate with LIMIT/OFFSET to retrieve complete results — exactly the
 // behaviour RDFFrames' client handles transparently.
+//
+// The serving path goes through the engine's plan and result caches when
+// they are enabled (sparql.Engine.EnableCache): responses carry
+// X-Cache: hit|miss and X-Store-Version headers, /stats reports the cache
+// counters, and bodies are gzip-compressed when the client's
+// Accept-Encoding admits it.
 package server
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,7 +23,9 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rdfframes/internal/sparql"
@@ -90,7 +99,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.Engine.Query(query)
+	body, rows, truncated, info, err := s.Engine.QueryServingJSON(query, s.MaxRows)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, sparql.ErrTimeout) {
@@ -100,36 +109,94 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.logf("query error (%d) in %v: %v", status, time.Since(start), err)
 		return
 	}
-	truncated := false
-	if s.MaxRows > 0 && len(res.Rows) > s.MaxRows {
-		res = &sparql.Results{Vars: res.Vars, Rows: res.Rows[:s.MaxRows]}
-		truncated = true
-	}
 	w.Header().Set("Content-Type", "application/sparql-results+json")
+	w.Header().Set("X-Store-Version", strconv.FormatUint(info.StoreVersion, 10))
+	if info.CacheEnabled {
+		if info.Hit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+	}
 	if truncated {
 		w.Header().Set("X-Truncated", "true")
 	}
-	if err := res.WriteJSON(w); err != nil {
+	out := io.Writer(w)
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Set("Vary", "Accept-Encoding")
+		gz := gzipPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		defer func() {
+			if err := gz.Close(); err != nil {
+				s.logf("gzip close error: %v", err)
+			}
+			gzipPool.Put(gz)
+		}()
+		out = gz
+	} else {
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	}
+	if _, err := out.Write(body); err != nil {
 		s.logf("write error: %v", err)
 		return
 	}
-	s.logf("query ok: %d rows in %v (truncated=%v)", len(res.Rows), time.Since(start), truncated)
+	s.logf("query ok: %d rows in %v (truncated=%v, cache=%v/%v)",
+		rows, time.Since(start), truncated, info.CacheEnabled, info.Hit)
 }
 
-// handleStats reports per-graph triple counts as JSON, a small exploration
-// aid mirroring the paper's data exploration needs.
+// gzipPool recycles gzip writers across responses; serialization is part
+// of every measured round trip, so the per-response allocation matters.
+// BestSpeed: the endpoint is throughput-bound, not bandwidth-bound.
+var gzipPool = sync.Pool{New: func() any {
+	gz, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+	return gz
+}}
+
+// acceptsGzip reports whether the request's Accept-Encoding admits gzip
+// (any listed "gzip" without an explicit q=0).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		q := strings.ReplaceAll(strings.TrimSpace(params), " ", "")
+		if strings.HasPrefix(q, "q=0") && !strings.HasPrefix(q, "q=0.") {
+			return false
+		}
+		if q == "q=0.0" || q == "q=0.00" || q == "q=0.000" {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// handleStats reports per-graph triple counts, the store version, and the
+// serving-cache counters as JSON — the exploration aid of the paper plus
+// the operational numbers for the caching subsystem.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	type graphStat struct {
 		Graph   string `json:"graph"`
 		Triples int    `json:"triples"`
 	}
-	var stats []graphStat
-	for _, uri := range s.Engine.Store.GraphURIs() {
-		stats = append(stats, graphStat{Graph: uri, Triples: s.Engine.Store.Graph(uri).Len()})
+	type stats struct {
+		StoreVersion uint64            `json:"store_version"`
+		Graphs       []graphStat       `json:"graphs"`
+		Cache        sparql.CacheStats `json:"cache"`
 	}
-	sort.Slice(stats, func(i, j int) bool { return stats[i].Graph < stats[j].Graph })
+	st := s.Engine.Store
+	out := stats{Cache: s.Engine.CacheStats()}
+	st.RLock()
+	out.StoreVersion = st.Version()
+	for _, uri := range st.GraphURIs() {
+		out.Graphs = append(out.Graphs, graphStat{Graph: uri, Triples: st.Graph(uri).Len()})
+	}
+	st.RUnlock()
+	sort.Slice(out.Graphs, func(i, j int) bool { return out.Graphs[i].Graph < out.Graphs[j].Graph })
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(stats)
+	json.NewEncoder(w).Encode(out)
 }
 
 // rejectBody answers a failed POST body read: 413 when the MaxBytesReader

@@ -231,15 +231,27 @@ func TestServerStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var stats []struct {
-		Graph   string `json:"graph"`
-		Triples int    `json:"triples"`
+	var stats struct {
+		StoreVersion uint64 `json:"store_version"`
+		Graphs       []struct {
+			Graph   string `json:"graph"`
+			Triples int    `json:"triples"`
+		} `json:"graphs"`
+		Cache struct {
+			Enabled bool `json:"enabled"`
+		} `json:"cache"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if len(stats) != 1 || stats[0].Triples != 25 {
+	if len(stats.Graphs) != 1 || stats.Graphs[0].Triples != 25 {
 		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.StoreVersion == 0 {
+		t.Fatal("store version missing from stats")
+	}
+	if stats.Cache.Enabled {
+		t.Fatal("cache reported enabled on an uncached server")
 	}
 }
 

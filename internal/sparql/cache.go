@@ -1,0 +1,397 @@
+package sparql
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"rdfframes/internal/qcache"
+)
+
+// Serving-cache defaults. RDFFrames pipelines generate SPARQL
+// programmatically, so the serving workload is dominated by repeats of the
+// same machine-built query text; these sizes comfortably cover the paper's
+// whole workload many times over.
+const (
+	// DefaultPlanCacheEntries bounds the parsed-plan cache (cost 1/entry).
+	DefaultPlanCacheEntries = 4096
+	// DefaultResultCacheRows bounds the result cache by total cached rows.
+	// A decoded row of a few terms runs ~250 bytes, so 1<<18 rows is a
+	// roughly 64 MB-equivalent budget.
+	DefaultResultCacheRows = 1 << 18
+)
+
+// cachedResult is one result-cache entry: the complete, ordered result of
+// a query with its outer LIMIT/OFFSET stripped, valid exactly for the
+// store version recorded at evaluation time (which is also baked into the
+// entry's key, so a version mismatch is structurally a miss).
+type cachedResult struct {
+	version uint64
+	res     *Results
+	// key is the entry's result-cache key (empty for ephemeral entries
+	// that were never stored), so memo growth can be re-charged to the
+	// cache budget.
+	key string
+
+	// pages memoizes the serialized SPARQL JSON of served row windows, so
+	// a repeated request costs a byte copy instead of re-encoding the rows
+	// (which dominates the warm path for large results). Capped at
+	// maxEncodedPages windows, and every memoized byte is charged back to
+	// the result cache's row budget (see cost); a paginated sweep's
+	// encodings sum to about one encoding of the whole entry.
+	mu        sync.Mutex
+	pages     map[[2]int][]byte
+	memoBytes int64
+}
+
+// maxEncodedPages bounds the per-entry encoding memo: generous for any
+// real pagination sweep, small enough that adversarial distinct
+// LIMIT/OFFSET combinations cannot churn an entry indefinitely.
+const maxEncodedPages = 32
+
+// resultRowCostBytes is the per-row byte equivalence behind the result
+// cache's row budget (DefaultResultCacheRows ≈ 64 MB): memoized encoding
+// bytes are converted to row-budget units at this rate so the budget
+// bounds total memory, rows and encodings together.
+const resultRowCostBytes = 256
+
+// cost is the entry's current charge against the result cache budget:
+// its rows plus its memoized encodings in row equivalents.
+func (ce *cachedResult) cost() int64 {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	return int64(len(ce.res.Rows)) + 1 + ce.memoBytes/resultRowCostBytes
+}
+
+// encodedPage returns the SPARQL JSON serialization of rows[lo:hi],
+// memoized per window; grew reports whether the memo took on new bytes
+// (the caller re-charges the entry to the cache budget). Encoding is
+// deterministic, so a memoized page is byte-identical to a fresh
+// serialization of the same rows.
+func (ce *cachedResult) encodedPage(lo, hi int) (b []byte, grew bool, err error) {
+	key := [2]int{lo, hi}
+	ce.mu.Lock()
+	b, ok := ce.pages[key]
+	ce.mu.Unlock()
+	if ok {
+		return b, false, nil
+	}
+	b, err = (&Results{Vars: ce.res.Vars, Rows: ce.res.Rows[lo:hi]}).MarshalJSON()
+	if err != nil {
+		return nil, false, err
+	}
+	ce.mu.Lock()
+	if ce.pages == nil {
+		ce.pages = make(map[[2]int][]byte)
+	}
+	if len(ce.pages) < maxEncodedPages {
+		ce.pages[key] = b
+		ce.memoBytes += int64(len(b))
+		grew = true
+	}
+	ce.mu.Unlock()
+	return b, grew, nil
+}
+
+// ServeInfo describes how a QueryServing call was answered.
+type ServeInfo struct {
+	// CacheEnabled reports whether the result cache was consulted.
+	CacheEnabled bool
+	// Hit reports whether the response came from the result cache.
+	Hit bool
+	// StoreVersion is the store mutation epoch the response reflects.
+	StoreVersion uint64
+}
+
+// EnableCache switches on the serving-path caches: a plan cache of up to
+// planEntries parsed queries and a result cache bounded by resultRows
+// total cached rows (<= 0 disables that cache). Call before serving
+// traffic; it is not synchronized with in-flight queries.
+func (e *Engine) EnableCache(planEntries int, resultRows int64) {
+	if planEntries > 0 {
+		e.plans = qcache.New[*Query](int64(planEntries), 16)
+	}
+	if resultRows > 0 {
+		e.results = qcache.New[*cachedResult](resultRows, 4)
+	}
+}
+
+// CacheEnabled reports whether the result cache is on.
+func (e *Engine) CacheEnabled() bool { return e.results != nil }
+
+// CacheStats is a snapshot of the serving-cache counters.
+type CacheStats struct {
+	Enabled bool         `json:"enabled"`
+	Plans   qcache.Stats `json:"plans"`
+	Results qcache.Stats `json:"results"`
+}
+
+// CacheStats returns the current cache counters (zero when disabled).
+func (e *Engine) CacheStats() CacheStats {
+	st := CacheStats{Enabled: e.results != nil}
+	if e.plans != nil {
+		st.Plans = e.plans.Stats()
+	}
+	if e.results != nil {
+		st.Results = e.results.Stats()
+	}
+	return st
+}
+
+// parse returns the parsed form of src, through the plan cache when
+// enabled. Parsed queries are immutable after parse — evaluation never
+// writes into the AST — so one cached plan serves concurrent readers.
+func (e *Engine) parse(src string) (*Query, error) {
+	if e.plans == nil {
+		return Parse(src)
+	}
+	if q, ok := e.plans.Get(src); ok {
+		return q, nil
+	}
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.Put(src, q, 1)
+	return q, nil
+}
+
+// QueryServing is the serving-path entry point: Engine.Query plus the
+// plan and result caches. Results served or filled from the cache are
+// shared across calls and must be treated as read-only by the caller.
+//
+// Pagination-aware slicing: the cache key is the query text with its
+// trailing top-level LIMIT/OFFSET stripped, and the cached value is the
+// full ordered result of that normalized query. Every page of a client's
+// LIMIT/OFFSET sweep therefore maps to the same entry and is answered by
+// slicing the cached rows — k paginated round trips cost one evaluation.
+// This is exact because the evaluator is deterministic and itself applies
+// LIMIT/OFFSET as a final slice over the fully-materialized result.
+//
+// Invalidation is by store version: the version is part of the key, so a
+// mutation moves every lookup onto fresh keys and stale entries age out of
+// the LRU without ever being served.
+func (e *Engine) QueryServing(src string) (*Results, ServeInfo, error) {
+	ce, limit, offset, info, err := e.serve(src)
+	if err != nil {
+		return nil, info, err
+	}
+	lo, hi := pageBounds(len(ce.res.Rows), limit, offset)
+	return &Results{Vars: ce.res.Vars, Rows: ce.res.Rows[lo:hi]}, info, nil
+}
+
+// QueryServingJSON is QueryServing serialized: it answers with the SPARQL
+// JSON response body, additionally capping the page at maxRows rows
+// (0 = no cap) and reporting whether that cap truncated the response. On
+// cache hits the body comes from the entry's per-window encoding memo, so
+// a repeated request costs a byte copy rather than a re-serialization —
+// the warm serving path is HTTP plus one buffer write.
+func (e *Engine) QueryServingJSON(src string, maxRows int) (body []byte, rows int, truncated bool, info ServeInfo, err error) {
+	ce, limit, offset, info, err := e.serve(src)
+	if err != nil {
+		return nil, 0, false, info, err
+	}
+	lo, hi := pageBounds(len(ce.res.Rows), limit, offset)
+	if maxRows > 0 && hi-lo > maxRows {
+		hi = lo + maxRows
+		truncated = true
+	}
+	body, grew, err := ce.encodedPage(lo, hi)
+	if err != nil {
+		return nil, 0, false, info, err
+	}
+	if grew && ce.key != "" && e.results != nil {
+		// Re-charge the entry for its grown encoding memo so the budget
+		// keeps bounding total memory. If the entry has outgrown the whole
+		// budget the re-put is rejected — drop it rather than let it sit
+		// in the cache under-accounted.
+		if !e.results.Put(ce.key, ce, ce.cost()) {
+			e.results.Delete(ce.key)
+		}
+	}
+	return body, hi - lo, truncated, info, nil
+}
+
+// serve resolves src through the caches to a result entry plus the
+// LIMIT/OFFSET window the request asked for. When caching is off (or the
+// result was too large to admit) the entry is ephemeral and dies with the
+// request.
+func (e *Engine) serve(src string) (ce *cachedResult, limit, offset int, info ServeInfo, err error) {
+	info = ServeInfo{StoreVersion: e.Store.Version()}
+	limit = -1
+	if e.results == nil {
+		q, err := e.parse(src)
+		if err != nil {
+			return nil, 0, 0, info, err
+		}
+		res, err := e.Eval(q)
+		if err != nil {
+			return nil, 0, 0, info, err
+		}
+		return &cachedResult{version: info.StoreVersion, res: res}, limit, 0, info, nil
+	}
+	info.CacheEnabled = true
+	q, err := e.parse(src)
+	if err != nil {
+		return nil, 0, 0, info, err
+	}
+
+	// Normalize: strip the outer LIMIT/OFFSET so all pages share one key.
+	// The textual strip is verified against the parsed query; on any
+	// disagreement (comments, exotic spellings) fall back to caching the
+	// exact text, which is still correct — just without page sharing.
+	key, offset := src, 0
+	normalized := q
+	if stripped, l, o, ok := stripPagination(src); ok && l == q.Limit && o == q.Offset {
+		key, limit, offset = stripped, l, o
+		nq := *q
+		nq.Limit, nq.Offset = -1, 0
+		normalized = &nq
+	}
+
+	ck := cacheKey(info.StoreVersion, e.DefaultGraphs, key)
+	if ce, ok := e.results.Get(ck); ok {
+		info.Hit = true
+		info.StoreVersion = ce.version
+		return ce, limit, offset, info, nil
+	}
+
+	// Miss: evaluate the normalized (unpaginated) query in one read
+	// transaction. The version is re-read under the lock — it may have
+	// moved since the lookup, and the entry must be keyed to the state the
+	// evaluation actually saw.
+	e.Store.RLock()
+	version := e.Store.Version()
+	full, err := e.evalLocked(normalized)
+	e.Store.RUnlock()
+	if err != nil {
+		return nil, 0, 0, info, err
+	}
+	if version != info.StoreVersion {
+		ck = cacheKey(version, e.DefaultGraphs, key)
+		info.StoreVersion = version
+	}
+	ce = &cachedResult{version: version, res: full, key: ck}
+	e.results.Put(ck, ce, ce.cost())
+	return ce, limit, offset, info, nil
+}
+
+// cacheKey builds the result-cache key: store version, the engine's
+// default graphs, and the normalized query text, separated by bytes that
+// cannot occur in any of them.
+func cacheKey(version uint64, graphs []string, norm string) string {
+	var sb strings.Builder
+	sb.Grow(len(norm) + 32)
+	sb.WriteString(strconv.FormatUint(version, 10))
+	for _, g := range graphs {
+		sb.WriteByte('\x1f')
+		sb.WriteString(g)
+	}
+	sb.WriteByte('\x00')
+	sb.WriteString(norm)
+	return sb.String()
+}
+
+// pageBounds computes the [lo, hi) row window LIMIT/OFFSET (limit -1 =
+// none) select over a fully-materialized n-row result: offset clamped to
+// [0, n], then limit. It is the single definition of the final slice —
+// the evaluator applies it to every query's materialized solutions, and
+// the result cache applies it to cached rows, which is what makes a
+// cached page slice exactly equal to direct evaluation.
+func pageBounds(n, limit, offset int) (lo, hi int) {
+	lo, hi = offset, n
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n {
+		lo = n
+	}
+	if limit >= 0 && lo+limit < hi {
+		hi = lo + limit
+	}
+	return lo, hi
+}
+
+// stripPagination removes a trailing top-level "LIMIT n" / "OFFSET m"
+// clause pair (either order, either alone) from the end of a query's text,
+// returning the prefix and the stripped values. ok is false when the text
+// does not end in such a clause. Top-level LIMIT/OFFSET can only appear at
+// the very end of a SELECT query — subqueries' modifiers sit inside
+// braces — so a backwards token scan is exact; any residual ambiguity is
+// caught by the caller's comparison against the parsed query.
+func stripPagination(src string) (stripped string, limit, offset int, ok bool) {
+	limit, offset = -1, 0
+	rest := src
+	seenLimit, seenOffset := false, false
+	for {
+		kw, val, prefix, found := trailingClause(rest)
+		if !found {
+			break
+		}
+		// A repeated keyword ("LIMIT 1 LIMIT 2") has last-one-wins parser
+		// semantics; bail out and let the caller fall back to exact-text
+		// caching rather than model that here.
+		if kw == "limit" {
+			if seenLimit {
+				return "", 0, 0, false
+			}
+			seenLimit, limit = true, val
+		} else {
+			if seenOffset {
+				return "", 0, 0, false
+			}
+			seenOffset, offset = true, val
+		}
+		rest = prefix
+	}
+	if !seenLimit && !seenOffset {
+		return "", 0, 0, false
+	}
+	return strings.TrimRight(rest, " \t\r\n"), limit, offset, true
+}
+
+// trailingClause matches a final "LIMIT <digits>" or "OFFSET <digits>" at
+// the end of s and returns the keyword (lowercased), the value, and the
+// text before the clause.
+func trailingClause(s string) (kw string, val int, prefix string, ok bool) {
+	s = strings.TrimRight(s, " \t\r\n")
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) || i == 0 {
+		return "", 0, "", false
+	}
+	num := s[i:]
+	j := i
+	for j > 0 && isClauseSpace(s[j-1]) {
+		j--
+	}
+	if j == i {
+		// No whitespace between keyword and number ("LIMIT10" is not a
+		// modifier clause).
+		return "", 0, "", false
+	}
+	k := j
+	for k > 0 && isClauseAlpha(s[k-1]) {
+		k--
+	}
+	word := strings.ToLower(s[k:j])
+	if word != "limit" && word != "offset" {
+		return "", 0, "", false
+	}
+	if k > 0 {
+		if c := s[k-1]; !isClauseSpace(c) && c != '}' && c != ')' {
+			return "", 0, "", false
+		}
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil {
+		return "", 0, "", false
+	}
+	return word, n, s[:k], true
+}
+
+func isClauseSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+
+func isClauseAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rdfframes/internal/qcache"
 	"rdfframes/internal/store"
 )
 
@@ -25,6 +26,12 @@ type Engine struct {
 	// DisablePushdown turns off early filter application during BGP
 	// evaluation (for ablation benchmarks).
 	DisablePushdown bool
+
+	// plans caches parsed queries by text; results caches full decoded
+	// result sets keyed by (store version, graphs, normalized text). Both
+	// are nil until EnableCache (see cache.go).
+	plans   *qcache.Cache[*Query]
+	results *qcache.Cache[*cachedResult]
 }
 
 // NewEngine returns an engine over st with no default-graph restriction.
@@ -38,17 +45,29 @@ func (e *Engine) SetTimeout(d time.Duration) { e.timeout.Store(int64(d)) }
 // Timeout returns the per-query evaluation deadline.
 func (e *Engine) Timeout() time.Duration { return time.Duration(e.timeout.Load()) }
 
-// Query parses and evaluates a SELECT query, returning its solutions.
+// Query parses and evaluates a SELECT query, returning its solutions. The
+// parse goes through the plan cache when EnableCache has been called; the
+// result cache is consulted only on the serving path (QueryServing).
 func (e *Engine) Query(src string) (*Results, error) {
-	q, err := Parse(src)
+	q, err := e.parse(src)
 	if err != nil {
 		return nil, err
 	}
 	return e.Eval(q)
 }
 
-// Eval evaluates an already-parsed query.
+// Eval evaluates an already-parsed query inside one store read
+// transaction, so concurrent mutations never interleave with a running
+// query. Evaluation never mutates q; a parsed query is safe to evaluate
+// from many goroutines at once.
 func (e *Engine) Eval(q *Query) (*Results, error) {
+	e.Store.RLock()
+	defer e.Store.RUnlock()
+	return e.evalLocked(q)
+}
+
+// evalLocked evaluates q with the store read lock already held.
+func (e *Engine) evalLocked(q *Query) (*Results, error) {
 	ev := &evaluator{
 		store:           e.Store,
 		dict:            newEvalDict(e.Store.Dict()),

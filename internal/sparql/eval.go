@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"rdfframes/internal/rdf"
@@ -24,6 +25,16 @@ type evaluator struct {
 	cache           *regexCache
 	disableReorder  bool
 	disablePushdown bool
+	// cardMemo memoizes base cardinality probes per (pattern, graphs) for
+	// the lifetime of this query; see baseCardinality.
+	cardMemo map[cardKey]float64
+}
+
+// cardKey identifies one base-cardinality probe: the pattern (variables
+// and constants alike — TriplePattern is comparable) and the graph scope.
+type cardKey struct {
+	pat    TriplePattern
+	graphs string
 }
 
 // deadlineErr reports whether the evaluator's deadline has passed.
@@ -118,17 +129,10 @@ func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string) (*idRows, e
 	if q.Distinct {
 		proj.distinct()
 	}
-	lo, hi := 0, proj.n
-	if q.Offset > 0 {
-		if q.Offset >= hi {
-			lo = hi
-		} else {
-			lo = q.Offset
-		}
-	}
-	if q.Limit >= 0 && lo+q.Limit < hi {
-		hi = lo + q.Limit
-	}
+	// The same clamp serves the result cache's pagination-aware slicing:
+	// sharing it keeps cached page slices exactly equal to direct
+	// evaluation (see cache.go).
+	lo, hi := pageBounds(proj.n, q.Limit, q.Offset)
 	if lo != 0 || hi != proj.n {
 		proj.sliceRows(lo, hi)
 	}
@@ -547,10 +551,11 @@ func (ev *evaluator) orderPatterns(patterns []TriplePattern, bound map[string]bo
 		boundVars[v] = true
 	}
 	var out []TriplePattern
+	graphsKey := strings.Join(graphs, "\x1f")
 	for len(remaining) > 0 {
 		bestIdx, bestScore := 0, math.MaxFloat64
 		for i, pat := range remaining {
-			score := ev.estimate(pat, boundVars, graphs)
+			score := ev.estimate(pat, boundVars, graphs, graphsKey)
 			if score < bestScore {
 				bestScore, bestIdx = score, i
 			}
@@ -567,12 +572,8 @@ func (ev *evaluator) orderPatterns(patterns []TriplePattern, bound map[string]bo
 
 // estimate scores a pattern: the store cardinality with constants bound,
 // discounted for each position bound by an already-bound variable.
-func (ev *evaluator) estimate(pat TriplePattern, bound map[string]bool, graphs []string) float64 {
-	idPat, known := ev.constantPattern(pat)
-	if !known {
-		return 0 // a constant term absent from the dictionary: zero matches
-	}
-	base := float64(ev.store.Cardinality(graphs, idPat))
+func (ev *evaluator) estimate(pat TriplePattern, bound map[string]bool, graphs []string, graphsKey string) float64 {
+	base := ev.baseCardinality(pat, graphs, graphsKey)
 	discount := 1.0
 	for _, n := range []Node{pat.S, pat.P, pat.O} {
 		if n.IsVar && bound[n.Var] {
@@ -580,6 +581,29 @@ func (ev *evaluator) estimate(pat TriplePattern, bound map[string]bool, graphs [
 		}
 	}
 	return base / discount
+}
+
+// baseCardinality memoizes the store probe behind estimate per (pattern,
+// graphs) for the lifetime of the query. The greedy orderPatterns loop
+// scores every remaining pattern on every round — O(n²) estimate calls for
+// an n-pattern BGP — but the probe depends only on the pattern's constant
+// positions, not on which variables are bound, so each distinct pattern
+// costs exactly one store probe per query. Sound within one evaluation
+// because the engine holds the store read lock throughout.
+func (ev *evaluator) baseCardinality(pat TriplePattern, graphs []string, graphsKey string) float64 {
+	key := cardKey{pat: pat, graphs: graphsKey}
+	if v, ok := ev.cardMemo[key]; ok {
+		return v
+	}
+	v := 0.0 // a constant term absent from the dictionary: zero matches
+	if idPat, known := ev.constantPattern(pat); known {
+		v = float64(ev.store.Cardinality(graphs, idPat))
+	}
+	if ev.cardMemo == nil {
+		ev.cardMemo = make(map[cardKey]float64)
+	}
+	ev.cardMemo[key] = v
+	return v
 }
 
 // constantPattern encodes the constant positions of pat; known is false if

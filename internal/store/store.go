@@ -3,14 +3,20 @@
 // OSP) that answer every triple-pattern access path the SPARQL evaluator
 // needs. The store is the substitute for the paper's Virtuoso engine.
 //
-// The store is safe for concurrent readers once loading has finished; loads
-// and queries must not be interleaved.
+// Mutations (Add, AddAll, the Load* methods, bulk/snapshot installs)
+// serialize on an internal write lock and bump a monotonic version counter;
+// readers that must not observe a store mid-mutation (the query evaluator)
+// bracket their work with RLock/RUnlock. Version() lets caches key results
+// to an exact store state: any mutation moves the version, so a cached
+// entry from an older version can never be served as current.
 package store
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rdfframes/internal/rdf"
 )
@@ -177,14 +183,16 @@ func (g *Graph) unseal() {
 	}
 }
 
-func (g *Graph) add(t IDTriple) {
+// add inserts t and reports whether the graph changed (false for a
+// duplicate, which RDF set semantics ignore).
+func (g *Graph) add(t IDTriple) bool {
 	if g.set == nil {
 		g.unseal()
 	}
 	// A set membership check rather than a scan of spo[s][p]: the scan made
 	// bulk loading quadratic in the fan-out of each (s,p) group.
 	if g.contains(t) {
-		return
+		return false
 	}
 	g.set[t] = struct{}{}
 	idxAdd(g.spo, t.S, t.P, t.O)
@@ -193,6 +201,7 @@ func (g *Graph) add(t IDTriple) {
 	g.byPred[t.P] = append(g.byPred[t.P], t)
 	g.all = append(g.all, t)
 	g.n++
+	return true
 }
 
 func idxAdd(m map[ID]map[ID][]ID, a, b, c ID) {
@@ -206,6 +215,14 @@ func idxAdd(m map[ID]map[ID][]ID, a, b, c ID) {
 
 // Store holds a dictionary and a set of named graphs.
 type Store struct {
+	// mu serializes mutations against each other and against readers that
+	// take RLock. Plain accessor reads (Len, Graph, ...) are unlocked: they
+	// are safe once loading is quiescent, and concurrent-with-writes readers
+	// (the query evaluator) hold RLock around whole read transactions.
+	mu sync.RWMutex
+	// version counts successful mutations; see Version.
+	version atomic.Uint64
+
 	dict   *Dictionary
 	graphs map[string]*Graph
 	order  []string // graph URIs in insertion order
@@ -224,6 +241,22 @@ func NewWithDictionary(d *Dictionary) *Store {
 
 // Dict exposes the store's dictionary.
 func (s *Store) Dict() *Dictionary { return s.dict }
+
+// Version returns the store's mutation epoch: a counter that advances on
+// every mutation that changes the store (per triple inserted, per bulk
+// graph installed). Two reads returning the same version with no write
+// lock held in between are guaranteed to have observed identical data, so
+// a cache entry recorded at version v is exact for as long as Version()
+// still returns v. Safe to call without any lock.
+func (s *Store) Version() uint64 { return s.version.Load() }
+
+// RLock begins a read transaction: mutations are blocked until the
+// matching RUnlock. The query evaluator brackets each evaluation with
+// RLock/RUnlock so a query never observes a store mid-mutation.
+func (s *Store) RLock() { s.mu.RLock() }
+
+// RUnlock ends a read transaction started with RLock.
+func (s *Store) RUnlock() { s.mu.RUnlock() }
 
 // Graph returns the named graph, or nil if absent.
 func (s *Store) Graph(uri string) *Graph { return s.graphs[uri] }
@@ -249,18 +282,29 @@ func (s *Store) ensureGraph(uri string) *Graph {
 // Add inserts one triple into the named graph (duplicates are ignored,
 // matching RDF set semantics for a graph).
 func (s *Store) Add(graphURI string, t rdf.Triple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(graphURI, t)
+}
+
+// addLocked is Add with the write lock already held.
+func (s *Store) addLocked(graphURI string, t rdf.Triple) error {
 	if !t.Valid() {
 		return fmt.Errorf("store: invalid triple %s", t)
 	}
 	g := s.ensureGraph(graphURI)
-	g.add(IDTriple{s.dict.Encode(t.S), s.dict.Encode(t.P), s.dict.Encode(t.O)})
+	if g.add(IDTriple{s.dict.Encode(t.S), s.dict.Encode(t.P), s.dict.Encode(t.O)}) {
+		s.version.Add(1)
+	}
 	return nil
 }
 
 // AddAll inserts all triples into the named graph.
 func (s *Store) AddAll(graphURI string, triples []rdf.Triple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, t := range triples {
-		if err := s.Add(graphURI, t); err != nil {
+		if err := s.addLocked(graphURI, t); err != nil {
 			return err
 		}
 	}
@@ -274,6 +318,8 @@ func (s *Store) AddAll(graphURI string, triples []rdf.Triple) error {
 // duplicate-check membership set — which a later incremental Add rebuilds
 // lazily. BulkGraph takes ownership of the triples slice.
 func (s *Store) BulkGraph(graphURI string, triples []IDTriple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	maxID := ID(s.dict.Len())
 	spo := make(map[ID]map[ID][]ID, len(triples)/4+1)
 	pos := make(map[ID]map[ID][]ID, 64)
@@ -286,7 +332,7 @@ func (s *Store) BulkGraph(graphURI string, triples []IDTriple) error {
 		idxAdd(pos, t.P, t.O, t.S)
 		idxAdd(osp, t.O, t.S, t.P)
 	}
-	return s.BulkGraphIndexed(graphURI, triples, spo, pos, osp)
+	return s.bulkGraphIndexedLocked(graphURI, triples, spo, pos, osp)
 }
 
 // BulkGraphIndexed installs a complete graph from its serialized index
@@ -298,6 +344,12 @@ func (s *Store) BulkGraph(graphURI string, triples []IDTriple) error {
 // The graph is installed "sealed" (see BulkGraph) and takes ownership of
 // every argument.
 func (s *Store) BulkGraphIndexed(graphURI string, triples []IDTriple, spo, pos, osp map[ID]map[ID][]ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bulkGraphIndexedLocked(graphURI, triples, spo, pos, osp)
+}
+
+func (s *Store) bulkGraphIndexedLocked(graphURI string, triples []IDTriple, spo, pos, osp map[ID]map[ID][]ID) error {
 	if g := s.graphs[graphURI]; g != nil && g.n > 0 {
 		return fmt.Errorf("store: bulk load into non-empty graph <%s>", graphURI)
 	}
@@ -320,6 +372,10 @@ func (s *Store) BulkGraphIndexed(graphURI string, triples []IDTriple, spo, pos, 
 		g.byPred[t.P] = append(g.byPred[t.P], t)
 	}
 	s.installGraph(graphURI, g)
+	// One bump per triple installed (so the version tracks data volume like
+	// the incremental path) plus one for the graph install itself, which
+	// changes GraphURIs even when the graph is empty.
+	s.version.Add(uint64(len(triples)) + 1)
 	return nil
 }
 
@@ -333,6 +389,8 @@ func (s *Store) installGraph(graphURI string, g *Graph) {
 // LoadNTriples parses an N-Triples document from r into the named graph and
 // returns the number of triples loaded.
 func (s *Store) LoadNTriples(graphURI string, r io.Reader) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	nr := rdf.NewNTriplesReader(r)
 	n := 0
 	for {
@@ -343,7 +401,7 @@ func (s *Store) LoadNTriples(graphURI string, r io.Reader) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		if err := s.Add(graphURI, t); err != nil {
+		if err := s.addLocked(graphURI, t); err != nil {
 			return n, err
 		}
 		n++
@@ -356,9 +414,13 @@ func (s *Store) LoadNTriples(graphURI string, r io.Reader) (int, error) {
 // one worker per available CPU. It returns the number of triples merged.
 func (s *Store) LoadNTriplesParallel(graphURI string, r io.Reader, workers int) (int, error) {
 	n := 0
+	// Lock per merged batch rather than for the whole load, so a long bulk
+	// ingest does not starve concurrent readers for its full duration.
 	err := rdf.ParseNTriplesParallel(r, workers, func(batch []rdf.Triple) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		for _, t := range batch {
-			if err := s.Add(graphURI, t); err != nil {
+			if err := s.addLocked(graphURI, t); err != nil {
 				return err
 			}
 		}
@@ -371,6 +433,8 @@ func (s *Store) LoadNTriplesParallel(graphURI string, r io.Reader, workers int) 
 // LoadTurtle parses a Turtle document from r into the named graph and
 // returns the number of triples loaded.
 func (s *Store) LoadTurtle(graphURI string, r io.Reader) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	tr := rdf.NewTurtleReader(r)
 	n := 0
 	for {
@@ -381,7 +445,7 @@ func (s *Store) LoadTurtle(graphURI string, r io.Reader) (int, error) {
 		if err != nil {
 			return n, err
 		}
-		if err := s.Add(graphURI, t); err != nil {
+		if err := s.addLocked(graphURI, t); err != nil {
 			return n, err
 		}
 		n++

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"sync"
+	"testing"
+
+	"rdfframes/internal/rdf"
+)
+
+func tr(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func TestVersionAdvancesPerInsertedTriple(t *testing.T) {
+	st := New()
+	if st.Version() != 0 {
+		t.Fatalf("fresh store version = %d", st.Version())
+	}
+	if err := st.Add("g", tr("http://s", "http://p", "http://o")); err != nil {
+		t.Fatal(err)
+	}
+	v1 := st.Version()
+	if v1 == 0 {
+		t.Fatal("version did not advance on Add")
+	}
+	// A duplicate insert changes nothing and must not move the version:
+	// caches keyed on the version stay valid across no-op writes.
+	if err := st.Add("g", tr("http://s", "http://p", "http://o")); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version() != v1 {
+		t.Fatalf("version moved on duplicate add: %d -> %d", v1, st.Version())
+	}
+	if err := st.AddAll("g", []rdf.Triple{
+		tr("http://s", "http://p", "http://o2"),
+		tr("http://s", "http://p", "http://o3"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version() <= v1 {
+		t.Fatalf("version did not advance on AddAll: %d", st.Version())
+	}
+}
+
+func TestVersionAdvancesOnBulkInstall(t *testing.T) {
+	st := New()
+	d := st.Dict()
+	a := d.Encode(rdf.NewIRI("http://a"))
+	b := d.Encode(rdf.NewIRI("http://b"))
+	c := d.Encode(rdf.NewIRI("http://c"))
+	before := st.Version()
+	if err := st.BulkGraph("g", []IDTriple{{a, b, c}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version() <= before {
+		t.Fatal("version did not advance on BulkGraph")
+	}
+}
+
+// TestConcurrentWriterAndReaders checks the RLock/RUnlock read-transaction
+// contract under -race: a writer keeps inserting while readers scan, and a
+// version observed under RLock must still describe the data read.
+func TestConcurrentWriterAndReaders(t *testing.T) {
+	st := New()
+	if err := st.Add("g", tr("http://s0", "http://p", "http://o")); err != nil {
+		t.Fatal(err)
+	}
+	const writes = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			if err := st.Add("g", rdf.Triple{
+				S: rdf.NewIRI("http://s0"),
+				P: rdf.NewIRI("http://p"),
+				O: rdf.NewInteger(int64(i)),
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			var lastCount int
+			for i := 0; i < 200; i++ {
+				st.RLock()
+				v := st.Version()
+				n := st.Graph("g").Count(IDTriple{})
+				st.RUnlock()
+				if v < lastVersion {
+					t.Errorf("version went backwards: %d after %d", v, lastVersion)
+				}
+				if v == lastVersion && n != lastCount {
+					t.Errorf("same version %d but count %d != %d", v, n, lastCount)
+				}
+				if v > lastVersion && n < lastCount {
+					t.Errorf("newer version %d lost rows: %d < %d", v, n, lastCount)
+				}
+				lastVersion, lastCount = v, n
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.Graph("g").Len(); got != writes+1 {
+		t.Fatalf("final triples = %d, want %d", got, writes+1)
+	}
+}
