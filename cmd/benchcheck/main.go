@@ -1,0 +1,151 @@
+// Command benchcheck diffs a fresh benchrunner report against the
+// committed BENCH_sparql.json shape-wise, so CI catches structural
+// regressions in the benchmark harness without asserting on timings
+// (the bench boxes are shared single cores; wall-clock deltas are noise).
+//
+//	benchcheck -committed BENCH_sparql.json -fresh /tmp/bench-smoke.json
+//
+// Structural checks (exit 1 on failure):
+//   - both reports parse and the fresh one has measurements,
+//   - every figure the two reports share covers the committed
+//     (task, approach) pairs,
+//   - no fresh measurement has an empty timing (zero seconds without an
+//     error) and none reports an error,
+//   - result byte-identity flags recorded by the serving and parallel
+//     sections are all true (a false one is a determinism regression),
+//   - sections present in both reports are non-degenerate in the fresh one.
+//
+// Timing deltas between the reports are printed as warnings only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rdfframes/internal/bench"
+)
+
+func main() {
+	committedPath := flag.String("committed", "BENCH_sparql.json", "committed reference report")
+	freshPath := flag.String("fresh", "", "freshly generated report to check")
+	warnRatio := flag.Float64("warn-ratio", 3, "warn when a shared measurement's timing ratio exceeds this (either direction)")
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -fresh is required")
+		os.Exit(2)
+	}
+
+	committed, err := readReport(*committedPath)
+	if err != nil {
+		fail("reading committed report: %v", err)
+	}
+	fresh, err := readReport(*freshPath)
+	if err != nil {
+		fail("reading fresh report: %v", err)
+	}
+
+	problems := check(committed, fresh, *warnRatio)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: fresh report is structurally sound")
+}
+
+func readReport(path string) (*bench.JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.JSONReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// check returns the structural problems of fresh relative to committed.
+func check(committed, fresh *bench.JSONReport, warnRatio float64) []string {
+	var problems []string
+	if len(fresh.Measurements) == 0 {
+		problems = append(problems, "fresh report has no measurements")
+	}
+
+	type key struct{ figure, task, approach string }
+	freshSeconds := map[key]float64{}
+	freshFigures := map[string]bool{}
+	for _, m := range fresh.Measurements {
+		k := key{m.Figure, m.Task, m.Approach}
+		freshSeconds[k] = m.Seconds
+		freshFigures[m.Figure] = true
+		if m.Error != "" {
+			problems = append(problems, fmt.Sprintf("figure %s %s (%s) errored: %s", m.Figure, m.Task, m.Approach, m.Error))
+		} else if m.Seconds <= 0 {
+			problems = append(problems, fmt.Sprintf("figure %s %s (%s) has an empty timing", m.Figure, m.Task, m.Approach))
+		}
+	}
+	// Coverage: every (task, approach) the committed report has for a
+	// figure the fresh report also ran must be present — a missing query
+	// means the harness silently dropped work.
+	for _, m := range committed.Measurements {
+		if !freshFigures[m.Figure] {
+			continue
+		}
+		k := key{m.Figure, m.Task, m.Approach}
+		secs, ok := freshSeconds[k]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("figure %s lost %s (%s)", m.Figure, m.Task, m.Approach))
+			continue
+		}
+		if m.Seconds > 0 && secs > 0 {
+			ratio := secs / m.Seconds
+			if ratio > warnRatio || ratio < 1/warnRatio {
+				fmt.Fprintf(os.Stderr, "benchcheck: warn: figure %s %s (%s): %.4fs vs committed %.4fs (%.1fx) — timing only, not failing\n",
+					m.Figure, m.Task, m.Approach, secs, m.Seconds, ratio)
+			}
+		}
+	}
+
+	if committed.Serving != nil && fresh.Serving != nil {
+		if len(fresh.Serving.Queries) < len(committed.Serving.Queries) {
+			problems = append(problems, fmt.Sprintf("serving section shrank: %d queries, committed has %d",
+				len(fresh.Serving.Queries), len(committed.Serving.Queries)))
+		}
+		for _, q := range fresh.Serving.Queries {
+			if !q.ByteIdentical {
+				problems = append(problems, fmt.Sprintf("serving %s: cached response not byte-identical", q.Task))
+			}
+			if q.ColdSeconds <= 0 || q.WarmSeconds <= 0 {
+				problems = append(problems, fmt.Sprintf("serving %s has an empty timing", q.Task))
+			}
+		}
+	}
+	if fresh.Parallel != nil {
+		if len(fresh.Parallel.Queries) == 0 {
+			problems = append(problems, "parallel section has no queries")
+		}
+		for _, q := range fresh.Parallel.Queries {
+			if !q.ByteIdentical {
+				problems = append(problems, fmt.Sprintf("parallel %s: parallel result not byte-identical to serial", q.Task))
+			}
+			if q.SerialSeconds <= 0 || q.ParallelSeconds <= 0 {
+				problems = append(problems, fmt.Sprintf("parallel %s has an empty timing", q.Task))
+			}
+		}
+	}
+	if committed.Storage != nil && fresh.Storage != nil {
+		if fresh.Storage.ReopenSeconds <= 0 {
+			problems = append(problems, "storage section has an empty reopen timing")
+		}
+	}
+	return problems
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}

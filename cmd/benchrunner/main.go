@@ -10,19 +10,31 @@
 //
 //	benchrunner                 # all figures, small scale
 //	benchrunner -scale bench -fig 5 -timeout 60s
-//	benchrunner -fig 5,storage,serving -out BENCH_sparql.json
+//	benchrunner -fig 5,storage,serving,parallel -out BENCH_sparql.json
 //	benchrunner -bestof 3       # keep the best of 3 runs per measurement
+//	benchrunner -parallel 4     # intra-query morsel workers (1 = serial engine)
 //	benchrunner -snapshot data.snap -fig 5   # reopen dataset from snapshot
 //	benchrunner -data ./data -fig 5          # load dbpedia/dblp/yago .nt files
 //	benchrunner -verify         # also verify result equality across approaches
+//	benchrunner -digest out.txt # print per-query result digests and exit
 //
 // -fig serving runs the repeated-query serving workload: every Figure-5
 // query issued over HTTP cold (no cache) and warm (plan + result caches),
 // plus a full paginated client materialization, recording QPS and cache
 // hit/miss counters.
+//
+// -fig parallel runs the morsel-parallelism workload: every Figure-5 query
+// evaluated serially (Parallelism 1) and with -parallel workers, recording
+// timings and result byte-identity.
+//
+// -digest evaluates the Figure-5 suite and writes one "task sha256" line
+// per query (no timings). CI runs it twice — GOMAXPROCS=1 -parallel 1
+// versus the parallel default — and diffs the files, so any parallel-eval
+// nondeterminism fails the build.
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"log"
@@ -52,6 +64,8 @@ func main() {
 		out       = flag.String("out", "", "also write measurements as JSON to this file (e.g. BENCH_sparql.json)")
 		snapPath  = flag.String("snapshot", "", "load the dataset from this snapshot file instead of generating it")
 		dataDir   = flag.String("data", "", "load dbpedia.nt/dblp.nt/yago.nt from this directory instead of generating")
+		parallel  = flag.Int("parallel", 4, "intra-query morsel workers for the engine and the parallel figure (0 = GOMAXPROCS, 1 = serial)")
+		digest    = flag.String("digest", "", "write per-query Figure-5 result digests to this file and exit (for determinism checks)")
 	)
 	flag.Parse()
 
@@ -67,6 +81,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer env.Close()
+	env.Engine.Parallelism = *parallel
+
+	if *digest != "" {
+		if err := writeDigest(env, *digest); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *digest)
+		return
+	}
 	for _, uri := range []string{datagen.DBpediaURI, datagen.DBLPURI, datagen.YAGOURI} {
 		n := 0
 		if g := env.Store.Graph(uri); g != nil {
@@ -110,6 +133,14 @@ func main() {
 			}
 			report.Serving = rep
 			fmt.Println(bench.FormatServing(rep))
+		case "parallel":
+			fmt.Fprintln(os.Stderr, "measuring parallel execution (serial vs morsel workers)...")
+			rep, err := bench.MeasureParallel(env, *parallel, *bestOf, *timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Parallel = rep
+			fmt.Println(bench.FormatParallel(rep))
 		case "3":
 			rows := bench.RunFigure3(env, *timeout, *bestOf)
 			report.Add("3", rows)
@@ -143,6 +174,32 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
+}
+
+// writeDigest evaluates every Figure-5 query directly on the environment's
+// engine (at its configured Parallelism) and writes "task sha256-of-json"
+// lines. The dataset generators are seeded and the evaluator is
+// deterministic, so two runs over the same scale must produce identical
+// files — the property the CI determinism job diffs across GOMAXPROCS and
+// -parallel settings.
+func writeDigest(env *bench.Env, path string) error {
+	var sb strings.Builder
+	for _, task := range bench.Synthetic() {
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			return fmt.Errorf("digest %s: %w", task.ID, err)
+		}
+		res, err := env.Engine.Query(query)
+		if err != nil {
+			return fmt.Errorf("digest %s: %w", task.ID, err)
+		}
+		body, err := res.MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("digest %s: %w", task.ID, err)
+		}
+		fmt.Fprintf(&sb, "%s %x %d\n", task.ID, sha256.Sum256(body), len(res.Rows))
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
 // buildEnv sets up the benchmark environment from one of three sources: a

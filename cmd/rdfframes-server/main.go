@@ -50,6 +50,7 @@ func main() {
 		timeout   = flag.Duration("timeout", time.Minute, "per-query evaluation deadline (0 = none)")
 		cacheOn   = flag.Bool("cache", true, "enable the serving caches (parsed plans + store-versioned results with pagination-aware slicing)")
 		cacheRows = flag.Int64("cache-rows", sparql.DefaultResultCacheRows, "result cache budget in total cached rows (roughly 64 MB at the default); 0 caches plans only")
+		parallel  = flag.Int("parallel", 0, "intra-query morsel workers per query (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
 		loads     loadFlags
 	)
 	flag.Var(&loads, "load", "graphURI=file.nt pair to load (repeatable)")
@@ -110,6 +111,7 @@ func main() {
 
 	eng := sparql.NewEngine(st)
 	eng.SetTimeout(*timeout)
+	eng.Parallelism = *parallel
 	if *cacheOn {
 		eng.EnableCache(sparql.DefaultPlanCacheEntries, *cacheRows)
 		log.Printf("serving caches on: %d plan entries, %d result rows", sparql.DefaultPlanCacheEntries, *cacheRows)
@@ -122,7 +124,8 @@ func main() {
 	for _, uri := range st.GraphURIs() {
 		log.Printf("graph <%s>: %d triples", uri, st.Graph(uri).Len())
 	}
-	log.Printf("SPARQL endpoint on %s/sparql (maxrows=%d, timeout=%v, cache=%v)", *listen, *maxRows, *timeout, *cacheOn)
+	log.Printf("SPARQL endpoint on %s/sparql (maxrows=%d, timeout=%v, cache=%v, parallel=%d)",
+		*listen, *maxRows, *timeout, *cacheOn, *parallel)
 	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
 }
 

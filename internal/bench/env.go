@@ -8,6 +8,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -222,11 +223,20 @@ var ErrWallClock = fmt.Errorf("bench: wall-clock timeout")
 // Measure times the task under the approach, enforcing the timeout through
 // the engine (mirroring the paper's 30-minute cap, scaled down) plus a
 // wall-clock cutoff for work done outside the engine. A run that exceeds
-// the wall clock is abandoned; its goroutine finishes in the background.
+// the wall clock is abandoned AND cancelled: the run's HTTP requests carry
+// a context that the cutoff cancels, which aborts the in-flight request
+// and — through the server's request context — stops the evaluation and
+// its morsel workers within one tick window, instead of letting the
+// detached goroutine evaluate to completion and pollute later timings.
 func (t *Task) Measure(env *Env, a Approach, timeout time.Duration) Measurement {
 	scoped := *env
 	env.Engine.SetTimeout(timeout) // shared HTTP endpoint; stragglers may still read it
 	scoped.deadline = time.Now().Add(timeout)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if hc, ok := scoped.Client.(*client.HTTPClient); ok {
+		scoped.Client = hc.WithContext(ctx)
+	}
 
 	done := make(chan Measurement, 1)
 	go func() {
@@ -245,6 +255,7 @@ func (t *Task) Measure(env *Env, a Approach, timeout time.Duration) Measurement 
 	case m := <-done:
 		return m
 	case <-time.After(timeout + timeout/2):
+		cancel() // stop the straggler's requests and their evaluations
 		return Measurement{Task: t.ID, Approach: a, Duration: timeout, Err: ErrWallClock}
 	}
 }

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+// ParallelQuery is one Figure-5 query measured under serial vs parallel
+// evaluation, directly on the engine (no HTTP), since the evaluator is
+// what the morsel pool accelerates.
+type ParallelQuery struct {
+	Task string `json:"task"`
+	Rows int    `json:"rows"`
+	// SerialSeconds is the evaluation time at Parallelism 1 (the exact old
+	// single-goroutine path); ParallelSeconds at the report's worker count.
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	// Speedup is SerialSeconds / ParallelSeconds.
+	Speedup float64 `json:"speedup"`
+	// ByteIdentical records that the parallel evaluation's SPARQL JSON was
+	// byte-identical to the serial one — the determinism contract.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// ParallelReport captures the morsel-parallelism benchmark: the Figure-5
+// suite evaluated at Parallelism 1 versus Workers.
+type ParallelReport struct {
+	// Workers is the Parallelism setting of the parallel runs; GOMAXPROCS
+	// records how many CPUs Go could actually schedule them on — on a
+	// single-core box the achievable speedup is bounded by 1x no matter
+	// what Workers says, so readers need both numbers.
+	Workers    int `json:"workers"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	BestOf     int `json:"best_of"`
+	// SerialSuiteSeconds/ParallelSuiteSeconds sum the per-query times;
+	// Speedup is their ratio.
+	SerialSuiteSeconds   float64 `json:"serial_suite_seconds"`
+	ParallelSuiteSeconds float64 `json:"parallel_suite_seconds"`
+	Speedup              float64 `json:"speedup"`
+
+	Queries []ParallelQuery `json:"queries"`
+}
+
+// MeasureParallel evaluates every Figure-5 query serially (Parallelism 1)
+// and with a workers-wide morsel pool, timing each with a best-of-bestOf
+// and checking the two result serializations byte for byte. workers
+// follows the engine's Parallelism semantics (<= 0 resolves to
+// GOMAXPROCS); a resolved count below 2 is an error rather than a
+// silently different setting, since the figure exists to compare the pool
+// against the serial path.
+func MeasureParallel(env *Env, workers, bestOf int, timeout time.Duration) (*ParallelReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2 {
+		return nil, fmt.Errorf("bench parallel: needs >= 2 workers to compare against serial, got %d (use -parallel)", workers)
+	}
+	if bestOf < 1 {
+		bestOf = 1
+	}
+	serialEng := sparql.NewEngine(env.Store)
+	serialEng.SetTimeout(timeout)
+	serialEng.Parallelism = 1
+	parEng := sparql.NewEngine(env.Store)
+	parEng.SetTimeout(timeout)
+	parEng.Parallelism = workers
+
+	rep := &ParallelReport{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), BestOf: bestOf}
+	for _, task := range Synthetic() {
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			return nil, fmt.Errorf("bench parallel %s: %w", task.ID, err)
+		}
+		want, err := evalJSON(serialEng, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench parallel %s: serial: %w", task.ID, err)
+		}
+		got, err := evalJSON(parEng, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench parallel %s: parallel: %w", task.ID, err)
+		}
+		res, err := sparql.ReadJSON(bytes.NewReader(want))
+		if err != nil {
+			return nil, fmt.Errorf("bench parallel %s: decode: %w", task.ID, err)
+		}
+		pq := ParallelQuery{Task: task.ID, Rows: len(res.Rows), ByteIdentical: bytes.Equal(want, got)}
+
+		pq.SerialSeconds, err = timeBestSeconds(bestOf, func() error {
+			_, err := serialEng.Query(query)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench parallel %s: serial timing: %w", task.ID, err)
+		}
+		pq.ParallelSeconds, err = timeBestSeconds(bestOf, func() error {
+			_, err := parEng.Query(query)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench parallel %s: parallel timing: %w", task.ID, err)
+		}
+		if pq.ParallelSeconds > 0 {
+			pq.Speedup = pq.SerialSeconds / pq.ParallelSeconds
+		}
+		rep.SerialSuiteSeconds += pq.SerialSeconds
+		rep.ParallelSuiteSeconds += pq.ParallelSeconds
+		rep.Queries = append(rep.Queries, pq)
+	}
+	if rep.ParallelSuiteSeconds > 0 {
+		rep.Speedup = rep.SerialSuiteSeconds / rep.ParallelSuiteSeconds
+	}
+	return rep, nil
+}
+
+// evalJSON evaluates query on eng and returns its SPARQL JSON body.
+func evalJSON(eng *sparql.Engine, query string) ([]byte, error) {
+	res, err := eng.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return res.MarshalJSON()
+}
+
+// FormatParallel renders the morsel-parallelism numbers as a text table.
+func FormatParallel(rep *ParallelReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Parallel execution: Figure-5 suite, serial (1 worker) vs %d morsel workers (GOMAXPROCS=%d)\n",
+		rep.Workers, rep.GOMAXPROCS)
+	fmt.Fprintf(&sb, "%-6s %8s %14s %14s %10s %6s\n", "query", "rows", "serial (s)", "parallel (s)", "speedup", "same")
+	for _, q := range rep.Queries {
+		same := "yes"
+		if !q.ByteIdentical {
+			same = "NO"
+		}
+		fmt.Fprintf(&sb, "%-6s %8d %14.6f %14.6f %9.2fx %6s\n",
+			q.Task, q.Rows, q.SerialSeconds, q.ParallelSeconds, q.Speedup, same)
+	}
+	fmt.Fprintf(&sb, "suite: %.4fs serial -> %.4fs parallel (%.2fx, best of %d)\n",
+		rep.SerialSuiteSeconds, rep.ParallelSuiteSeconds, rep.Speedup, rep.BestOf)
+	return sb.String()
+}

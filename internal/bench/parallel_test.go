@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+// TestFigure5ParallelByteIdentical is the acceptance property for the
+// morsel pool: for all 15 Figure-5 queries (the RDFFrames-generated
+// SPARQL), evaluation at Parallelism 2, 4, and 8 produces SPARQL JSON
+// byte-identical to Parallelism 1 — the serial engine.
+func TestFigure5ParallelByteIdentical(t *testing.T) {
+	env, err := NewEnv(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	serial := sparql.NewEngine(env.Store)
+	serial.Parallelism = 1
+	for _, task := range Synthetic() {
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			t.Fatalf("%s: %v", task.ID, err)
+		}
+		want, err := evalJSON(serial, query)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", task.ID, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := sparql.NewEngine(env.Store)
+			par.Parallelism = workers
+			got, err := evalJSON(par, query)
+			if err != nil {
+				t.Fatalf("%s: parallelism %d: %v", task.ID, workers, err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("%s: parallelism %d result differs from serial (%d vs %d bytes)",
+					task.ID, workers, len(want), len(got))
+			}
+		}
+	}
+}
+
+// TestMeasureParallelSmoke runs the parallel figure end to end at small
+// scale and checks the report is structurally sound — the same contract
+// cmd/benchcheck enforces in CI.
+func TestMeasureParallelSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke in -short mode")
+	}
+	env, err := NewEnv(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	rep, err := MeasureParallel(env, 4, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 4 || len(rep.Queries) != len(Synthetic()) {
+		t.Fatalf("report covers %d queries at %d workers", len(rep.Queries), rep.Workers)
+	}
+	for _, q := range rep.Queries {
+		if !q.ByteIdentical {
+			t.Fatalf("%s: parallel result not byte-identical", q.Task)
+		}
+		if q.SerialSeconds <= 0 || q.ParallelSeconds <= 0 {
+			t.Fatalf("%s: empty timing", q.Task)
+		}
+	}
+	if out := FormatParallel(rep); out == "" {
+		t.Fatal("empty formatted report")
+	}
+}

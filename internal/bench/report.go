@@ -193,6 +193,9 @@ type JSONReport struct {
 	// Serving holds the repeated-query serving-layer numbers (cold vs warm
 	// throughput and cache behaviour) when benchrunner measured them.
 	Serving *ServingReport `json:"serving,omitempty"`
+	// Parallel holds the morsel-parallelism numbers (serial vs parallel
+	// evaluation and byte-identity) when benchrunner measured them.
+	Parallel *ParallelReport `json:"parallel,omitempty"`
 }
 
 // Add appends every measurement of the figure's rows to the report.

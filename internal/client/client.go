@@ -6,6 +6,7 @@ package client
 
 import (
 	"compress/gzip"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,6 +38,28 @@ type HTTPClient struct {
 	// UsePost selects POST form encoding instead of GET (useful for
 	// queries exceeding URL length limits).
 	UsePost bool
+	// Context, when non-nil, bounds every request this client issues:
+	// cancelling it aborts in-flight requests (and, against this module's
+	// server, the evaluation behind them) and stops retry loops. Callers
+	// that abandon long-running work (the bench harness's wall-clock
+	// cutoff) cancel it so abandoned queries do not run to completion.
+	Context context.Context
+}
+
+// WithContext returns a shallow copy of the client whose requests are
+// bounded by ctx.
+func (c *HTTPClient) WithContext(ctx context.Context) *HTTPClient {
+	cp := *c
+	cp.Context = ctx
+	return &cp
+}
+
+// context resolves the client's request context.
+func (c *HTTPClient) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // NewHTTPClient returns a client for the endpoint with pagination enabled
@@ -114,6 +137,10 @@ func (c *HTTPClient) fetch(query string) (*sparql.Results, bool, error) {
 		if attempt > 0 {
 			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
 		}
+		if err := c.context().Err(); err != nil {
+			// The caller abandoned the work; retrying cannot succeed.
+			return nil, false, err
+		}
 		res, truncated, retryable, err := c.fetchOnce(query)
 		if err == nil {
 			return res, truncated, nil
@@ -127,15 +154,26 @@ func (c *HTTPClient) fetch(query string) (*sparql.Results, bool, error) {
 }
 
 func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated, retryable bool, err error) {
-	var resp *http.Response
+	var req *http.Request
 	if c.UsePost {
 		form := url.Values{"query": {query}}
-		resp, err = c.httpClient().PostForm(c.Endpoint, form)
+		req, err = http.NewRequestWithContext(c.context(), http.MethodPost, c.Endpoint,
+			strings.NewReader(form.Encode()))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
 	} else {
-		resp, err = c.httpClient().Get(c.Endpoint + "?query=" + url.QueryEscape(query))
+		req, err = http.NewRequestWithContext(c.context(), http.MethodGet,
+			c.Endpoint+"?query="+url.QueryEscape(query), nil)
 	}
 	if err != nil {
-		return nil, false, true, err
+		return nil, false, false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// A cancelled context is the caller's decision, not a transient
+		// endpoint failure.
+		return nil, false, c.context().Err() == nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -311,3 +311,109 @@ func TestServerNoStaleHitsUnderConcurrentWrites(t *testing.T) {
 		t.Fatalf("post-mutation repeat X-Cache = %q, want hit", cache)
 	}
 }
+
+// TestServerParallelEngineUnderConcurrentWrites is the morsel-pool variant
+// of the stale-hit hammer: the engine evaluates with 4 intra-query workers
+// over a store large enough to cross every parallel threshold (partitioned
+// base scans, row-morsel joins, parallel DISTINCT and decode) while a
+// writer goroutine inserts — the -race configuration that would catch a
+// pool worker touching store or cache state it must not. Invariants: same
+// X-Store-Version responses agree on row count, and once writes quiesce
+// the parallel endpoint's response is byte-identical to a serial engine's
+// over the same store.
+func TestServerParallelEngineUnderConcurrentWrites(t *testing.T) {
+	const initial, writes = 9000, 400
+	st := store.New()
+	for i := 0; i < initial; i++ {
+		err := st.Add(g, rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%05d", i%3000)),
+			P: rdf.NewIRI("http://ex/p"),
+			O: rdf.NewIRI(fmt.Sprintf("http://ex/o%03d", i%97)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := sparql.NewEngine(st)
+	eng.Parallelism = 4
+	eng.EnableCache(sparql.DefaultPlanCacheEntries, sparql.DefaultResultCacheRows)
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+
+	queries := []string{
+		`SELECT * WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT DISTINCT ?o WHERE { ?s <http://ex/p> ?o }`,
+		`SELECT * WHERE { ?s <http://ex/p> ?o . ?s <http://ex/p> ?o2 } LIMIT 5000`,
+	}
+	fetch := func(q string) (version string, rows int) {
+		resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Error(err)
+			return "", -1
+		}
+		defer resp.Body.Close()
+		res, err := sparql.ReadJSON(resp.Body)
+		if err != nil {
+			t.Error(err)
+			return "", -1
+		}
+		return resp.Header.Get("X-Store-Version"), len(res.Rows)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			err := st.Add(g, rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://ex/w%04d", i)),
+				P: rdf.NewIRI("http://ex/p"),
+				O: rdf.NewIRI(fmt.Sprintf("http://ex/o%03d", i%97)),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var mu sync.Mutex
+	countByVersion := map[string]int{}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := queries[(r+i)%len(queries)]
+				v, rows := fetch(q)
+				if rows < 0 {
+					return
+				}
+				mu.Lock()
+				key := v + "|" + q
+				if prev, ok := countByVersion[key]; ok && prev != rows {
+					t.Errorf("version %s served both %d and %d rows for %s", v, prev, rows, q)
+				}
+				countByVersion[key] = rows
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	serial := sparql.NewEngine(st)
+	serial.Parallelism = 1
+	for _, q := range queries {
+		want, err := serial.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := want.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gb := body(t, ts, q)
+		if string(wb) != string(gb) {
+			t.Fatalf("after writes quiesced, parallel response for %s differs from serial evaluation", q)
+		}
+	}
+}

@@ -16,12 +16,14 @@ package server
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -99,8 +101,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	body, rows, truncated, info, err := s.Engine.QueryServingJSON(query, s.MaxRows)
+	// The request context bounds the evaluation: a client that disconnects
+	// (or an abandoned benchmark run that cancels its request) stops the
+	// query's work — including its morsel workers — within one tick window
+	// instead of evaluating to completion on a detached goroutine.
+	body, rows, truncated, info, err := s.Engine.QueryServingJSONContext(r.Context(), query, s.MaxRows)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// The client is gone; there is nobody to answer.
+			s.logf("query canceled by client after %v", time.Since(start))
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, sparql.ErrTimeout) {
 			status = http.StatusGatewayTimeout
@@ -182,12 +193,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Triples int    `json:"triples"`
 	}
 	type stats struct {
-		StoreVersion uint64            `json:"store_version"`
-		Graphs       []graphStat       `json:"graphs"`
-		Cache        sparql.CacheStats `json:"cache"`
+		StoreVersion uint64      `json:"store_version"`
+		Graphs       []graphStat `json:"graphs"`
+		// Parallelism is the engine's configured intra-query worker count
+		// (0 = GOMAXPROCS); GOMAXPROCS reports what that resolves against.
+		Parallelism int               `json:"parallelism"`
+		GOMAXPROCS  int               `json:"gomaxprocs"`
+		Cache       sparql.CacheStats `json:"cache"`
 	}
 	st := s.Engine.Store
-	out := stats{Cache: s.Engine.CacheStats()}
+	out := stats{
+		Cache:       s.Engine.CacheStats(),
+		Parallelism: s.Engine.Parallelism,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
 	st.RLock()
 	out.StoreVersion = st.Version()
 	for _, uri := range st.GraphURIs() {

@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -172,7 +173,14 @@ func (e *Engine) parse(src string) (*Query, error) {
 // mutation moves every lookup onto fresh keys and stale entries age out of
 // the LRU without ever being served.
 func (e *Engine) QueryServing(src string) (*Results, ServeInfo, error) {
-	ce, limit, offset, info, err := e.serve(src)
+	return e.QueryServingContext(context.Background(), src)
+}
+
+// QueryServingContext is QueryServing bounded by ctx: a cancelled request
+// (e.g. a disconnected HTTP client) stops a cache-filling evaluation and
+// its morsel workers within one tick window.
+func (e *Engine) QueryServingContext(ctx context.Context, src string) (*Results, ServeInfo, error) {
+	ce, limit, offset, info, err := e.serve(ctx, src)
 	if err != nil {
 		return nil, info, err
 	}
@@ -187,7 +195,13 @@ func (e *Engine) QueryServing(src string) (*Results, ServeInfo, error) {
 // a repeated request costs a byte copy rather than a re-serialization —
 // the warm serving path is HTTP plus one buffer write.
 func (e *Engine) QueryServingJSON(src string, maxRows int) (body []byte, rows int, truncated bool, info ServeInfo, err error) {
-	ce, limit, offset, info, err := e.serve(src)
+	return e.QueryServingJSONContext(context.Background(), src, maxRows)
+}
+
+// QueryServingJSONContext is QueryServingJSON bounded by ctx; see
+// QueryServingContext.
+func (e *Engine) QueryServingJSONContext(ctx context.Context, src string, maxRows int) (body []byte, rows int, truncated bool, info ServeInfo, err error) {
+	ce, limit, offset, info, err := e.serve(ctx, src)
 	if err != nil {
 		return nil, 0, false, info, err
 	}
@@ -216,7 +230,7 @@ func (e *Engine) QueryServingJSON(src string, maxRows int) (body []byte, rows in
 // LIMIT/OFFSET window the request asked for. When caching is off (or the
 // result was too large to admit) the entry is ephemeral and dies with the
 // request.
-func (e *Engine) serve(src string) (ce *cachedResult, limit, offset int, info ServeInfo, err error) {
+func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit, offset int, info ServeInfo, err error) {
 	info = ServeInfo{StoreVersion: e.Store.Version()}
 	limit = -1
 	if e.results == nil {
@@ -224,7 +238,7 @@ func (e *Engine) serve(src string) (ce *cachedResult, limit, offset int, info Se
 		if err != nil {
 			return nil, 0, 0, info, err
 		}
-		res, err := e.Eval(q)
+		res, err := e.EvalContext(ctx, q)
 		if err != nil {
 			return nil, 0, 0, info, err
 		}
@@ -262,7 +276,7 @@ func (e *Engine) serve(src string) (ce *cachedResult, limit, offset int, info Se
 	// evaluation actually saw.
 	e.Store.RLock()
 	version := e.Store.Version()
-	full, err := e.evalLocked(normalized)
+	full, err := e.evalLocked(ctx, normalized)
 	e.Store.RUnlock()
 	if err != nil {
 		return nil, 0, 0, info, err

@@ -1,6 +1,8 @@
 package sparql
 
 import (
+	"context"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -20,6 +22,14 @@ type Engine struct {
 	// because callers (the benchmark harness, an operator endpoint) retune
 	// it while queries may still be evaluating on server goroutines.
 	timeout atomic.Int64
+	// Parallelism is the intra-query worker count: the evaluator's
+	// morsel-driven operators (base index scans, pattern probes, joins,
+	// DISTINCT, final decode) fan out to this many goroutines. 0 (the
+	// default) uses runtime.GOMAXPROCS(0); 1 runs every operator on the
+	// query goroutine — exactly the serial engine. Results are
+	// byte-identical at every setting (the determinism contract in
+	// parallel.go). Set before serving traffic; it is read per query.
+	Parallelism int
 	// DisableReorder turns off greedy join ordering, evaluating triple
 	// patterns in textual order (for ablation benchmarks).
 	DisableReorder bool
@@ -45,15 +55,30 @@ func (e *Engine) SetTimeout(d time.Duration) { e.timeout.Store(int64(d)) }
 // Timeout returns the per-query evaluation deadline.
 func (e *Engine) Timeout() time.Duration { return time.Duration(e.timeout.Load()) }
 
+// parallelism resolves the effective worker count for one query.
+func (e *Engine) parallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Query parses and evaluates a SELECT query, returning its solutions. The
 // parse goes through the plan cache when EnableCache has been called; the
 // result cache is consulted only on the serving path (QueryServing).
 func (e *Engine) Query(src string) (*Results, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query bounded by ctx: cancellation (or a ctx deadline)
+// stops the evaluation — including any morsel workers it fanned out —
+// within one tick window.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Results, error) {
 	q, err := e.parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Eval(q)
+	return e.EvalContext(ctx, q)
 }
 
 // Eval evaluates an already-parsed query inside one store read
@@ -61,22 +86,29 @@ func (e *Engine) Query(src string) (*Results, error) {
 // query. Evaluation never mutates q; a parsed query is safe to evaluate
 // from many goroutines at once.
 func (e *Engine) Eval(q *Query) (*Results, error) {
+	return e.EvalContext(context.Background(), q)
+}
+
+// EvalContext is Eval bounded by ctx; see QueryContext.
+func (e *Engine) EvalContext(ctx context.Context, q *Query) (*Results, error) {
 	e.Store.RLock()
 	defer e.Store.RUnlock()
-	return e.evalLocked(q)
+	return e.evalLocked(ctx, q)
 }
 
 // evalLocked evaluates q with the store read lock already held.
-func (e *Engine) evalLocked(q *Query) (*Results, error) {
+func (e *Engine) evalLocked(ctx context.Context, q *Query) (*Results, error) {
 	ev := &evaluator{
 		store:           e.Store,
 		dict:            newEvalDict(e.Store.Dict()),
 		cache:           &regexCache{},
 		disableReorder:  e.DisableReorder,
 		disablePushdown: e.DisablePushdown,
+		workers:         e.parallelism(),
 	}
+	ev.tk.ctx = ctx
 	if d := e.Timeout(); d > 0 {
-		ev.deadline = time.Now().Add(d)
+		ev.tk.deadline = time.Now().Add(d)
 	}
 	return ev.evalQuery(q, e.DefaultGraphs)
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"time"
 
 	"rdfframes/internal/rdf"
 	"rdfframes/internal/store"
@@ -20,11 +19,15 @@ var ErrTimeout = fmt.Errorf("sparql: query timeout")
 type evaluator struct {
 	store           *store.Store
 	dict            *evalDict
-	deadline        time.Time
-	steps           int
 	cache           *regexCache
 	disableReorder  bool
 	disablePushdown bool
+	// tk is the query goroutine's progress ticker: deadline plus context
+	// cancellation. Pool workers get their own tickers (see parallel.go).
+	tk ticker
+	// workers is the morsel pool size; <= 1 keeps every operator on the
+	// query goroutine (the exact serial path).
+	workers int
 	// cardMemo memoizes base cardinality probes per (pattern, graphs) for
 	// the lifetime of this query; see baseCardinality.
 	cardMemo map[cardKey]float64
@@ -37,21 +40,9 @@ type cardKey struct {
 	graphs string
 }
 
-// deadlineErr reports whether the evaluator's deadline has passed.
-func (ev *evaluator) deadlineErr() error {
-	if !ev.deadline.IsZero() && time.Now().After(ev.deadline) {
-		return ErrTimeout
-	}
-	return nil
-}
-
-func (ev *evaluator) tick() error {
-	ev.steps++
-	if ev.steps&0x1fff == 0 && !ev.deadline.IsZero() && time.Now().After(ev.deadline) {
-		return ErrTimeout
-	}
-	return nil
-}
+// tick counts one step on the query goroutine's ticker, polling the
+// deadline and context every few thousand steps.
+func (ev *evaluator) tick() error { return ev.tk.tick() }
 
 // rowCtx returns an expression context whose row is a mutable view into
 // rows; set view.idx before each evaluation.
@@ -61,7 +52,10 @@ func (ev *evaluator) rowCtx(rows *idRows) (*evalCtx, *idRowView) {
 }
 
 // evalQuery evaluates a query against the given default graphs and decodes
-// its projected solutions into terms.
+// its projected solutions into terms. The decode fans out to the worker
+// pool for large results: rows land at fixed positions, and the evaluator
+// dictionary is quiescent once evaluation is done, so concurrent decoding
+// is race-free and trivially order-preserving.
 func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, error) {
 	sols, err := ev.evalQueryRows(q, defaultGraphs)
 	if err != nil {
@@ -69,13 +63,30 @@ func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, erro
 	}
 	vars := append([]string(nil), sols.vars...)
 	rows := make([][]rdf.Term, sols.n)
-	for i := 0; i < sols.n; i++ {
-		src := sols.row(i)
-		r := make([]rdf.Term, len(vars))
-		for j, id := range src {
-			r[j] = ev.dict.decode(id)
+	decodeRange := func(lo, hi int, tk *ticker) error {
+		for i := lo; i < hi; i++ {
+			if err := tk.tick(); err != nil {
+				return err
+			}
+			src := sols.row(i)
+			r := make([]rdf.Term, len(vars))
+			for j, id := range src {
+				r[j] = ev.dict.decode(id)
+			}
+			rows[i] = r
 		}
-		rows[i] = r
+		return nil
+	}
+	if ev.workers > 1 && sols.n >= minParallelRows {
+		bounds := rowChunks(sols.n, morselRows)
+		err = ev.forEachPart(len(bounds), func(p int, tk *ticker) error {
+			return decodeRange(bounds[p][0], bounds[p][1], tk)
+		})
+	} else {
+		err = decodeRange(0, sols.n, &ev.tk)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return &Results{Vars: vars, Rows: rows}, nil
 }
@@ -127,7 +138,9 @@ func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string) (*idRows, e
 
 	proj := sols.project(q.projectedVars())
 	if q.Distinct {
-		proj.distinct()
+		if err := ev.distinctRows(proj); err != nil {
+			return nil, err
+		}
 	}
 	// The same clamp serves the result cache's pagination-aware slicing:
 	// sharing it keeps cached page slices exactly equal to direct
@@ -349,7 +362,10 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
-			current = leftJoinRows(current, right, time.Time{})
+			current, err = ev.join(current, right, true)
+			if err != nil {
+				return nil, err
+			}
 		case UnionElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -362,7 +378,11 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 				}
 				parts = append(parts, part)
 			}
-			current = joinRows(current, concatRows(parts), time.Time{})
+			joined, err := ev.join(current, concatRows(parts), false)
+			if err != nil {
+				return nil, err
+			}
+			current = joined
 		case GraphElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -371,7 +391,10 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
-			current = joinRows(current, right, time.Time{})
+			current, err = ev.join(current, right, false)
+			if err != nil {
+				return nil, err
+			}
 		case GroupElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -380,7 +403,10 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
-			current = joinRows(current, right, time.Time{})
+			current, err = ev.join(current, right, false)
+			if err != nil {
+				return nil, err
+			}
 		case SubQueryElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -389,8 +415,8 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
-			current = joinRows(current, sub, ev.deadline)
-			if err := ev.deadlineErr(); err != nil {
+			current, err = ev.join(current, sub, false)
+			if err != nil {
 				return nil, err
 			}
 		default:
@@ -642,27 +668,62 @@ type patSlot struct {
 }
 
 // extend joins each current solution with the matches of one pattern,
-// entirely in id space. Rows that resolve to the same concrete id pattern
-// share one index probe: when no pattern variable is bound yet (the common
-// case for the first pattern of a BGP) the store is probed exactly once for
-// the whole batch instead of once per row.
+// entirely in id space. The pattern is compiled once against the current
+// batch (extendExec); large inputs fan out to the morsel pool — a
+// range-partitioned base scan when every row shares one probe key, or
+// row-range morsels otherwise (see parallel.go) — and the rest run the
+// serial scan on the query goroutine.
 func (ev *evaluator) extend(cur *idRows, pat TriplePattern, graphs []string) (*idRows, error) {
+	x := ev.compileExtend(cur, pat, graphs)
+	if x.constMissing {
+		// A constant term absent from the dictionary matches nothing.
+		return newIDRows(x.outVars), nil
+	}
+	if out, done, err := ev.extendParallel(x, cur); done {
+		return out, err
+	}
+	return x.scanRows(cur, 0, cur.n, &ev.tk)
+}
+
+// extendExec is one pattern extension compiled against the current batch:
+// resolved slots, the output column layout, and repeated-variable
+// constraints. Its scan methods only read shared state, so disjoint row
+// ranges (or disjoint scan segments) can run concurrently.
+type extendExec struct {
+	store  *store.Store
+	graphs []string
+	slots  [3]patSlot
+	// outVars is the output layout: the current columns followed by the
+	// pattern's newly-bound variables.
+	outVars []string
+	// keyConst reports that no slot reads a current-batch column, so every
+	// current row resolves to the same probe key (the base-scan shape).
+	keyConst     bool
+	constMissing bool
+	// sameSP/sameSO/samePO: repeated-variable positions must agree within
+	// one match (the bindNode reject path of the per-row evaluator).
+	sameSP, sameSO, samePO bool
+	curW                   int
+}
+
+// compileExtend resolves pat's positions against the current batch.
+func (ev *evaluator) compileExtend(cur *idRows, pat TriplePattern, graphs []string) *extendExec {
 	dict := ev.store.Dict()
 	nodes := [3]Node{pat.S, pat.P, pat.O}
-	var slots [3]patSlot
+	x := &extendExec{store: ev.store, graphs: graphs, curW: len(cur.vars)}
 	outVars := append([]string(nil), cur.vars...)
 	outCols := make(map[string]int, len(outVars)+3)
 	for i, v := range outVars {
 		outCols[v] = i
 	}
-	constMissing := false
+	x.keyConst = true
 	for k, n := range nodes {
 		if !n.IsVar {
 			id, ok := dict.Lookup(n.Term)
 			if !ok {
-				constMissing = true
+				x.constMissing = true
 			}
-			slots[k] = patSlot{constID: id}
+			x.slots[k] = patSlot{constID: id}
 			continue
 		}
 		out, ok := outCols[n.Var]
@@ -670,70 +731,104 @@ func (ev *evaluator) extend(cur *idRows, pat TriplePattern, graphs []string) (*i
 		if ok {
 			if out < len(cur.vars) {
 				cc = out
+				x.keyConst = false
 			}
 		} else {
 			out = len(outVars)
 			outVars = append(outVars, n.Var)
 			outCols[n.Var] = out
 		}
-		slots[k] = patSlot{isVar: true, curCol: cc, outCol: out}
+		x.slots[k] = patSlot{isVar: true, curCol: cc, outCol: out}
 	}
-	out := newIDRows(outVars)
-	if constMissing {
-		// A constant term absent from the dictionary matches nothing.
-		return out, nil
+	x.outVars = outVars
+	x.sameSP = nodes[0].IsVar && nodes[1].IsVar && nodes[0].Var == nodes[1].Var
+	x.sameSO = nodes[0].IsVar && nodes[2].IsVar && nodes[0].Var == nodes[2].Var
+	x.samePO = nodes[1].IsVar && nodes[2].IsVar && nodes[1].Var == nodes[2].Var
+	return x
+}
+
+// rowKey resolves the probe key for one current row; unbound cells stay
+// wildcards.
+func (x *extendExec) rowKey(row []store.ID) store.IDTriple {
+	var key store.IDTriple
+	for k := range x.slots {
+		s := &x.slots[k]
+		id := s.constID
+		if s.isVar {
+			if s.curCol >= 0 {
+				id = row[s.curCol] // 0 stays a wildcard
+			} else {
+				id = 0
+			}
+		}
+		switch k {
+		case 0:
+			key.S = id
+		case 1:
+			key.P = id
+		case 2:
+			key.O = id
+		}
 	}
+	return key
+}
 
-	// Repeated-variable positions must agree within one match (the
-	// bindNode reject path of the per-row evaluator).
-	sameSP := nodes[0].IsVar && nodes[1].IsVar && nodes[0].Var == nodes[1].Var
-	sameSO := nodes[0].IsVar && nodes[2].IsVar && nodes[0].Var == nodes[2].Var
-	samePO := nodes[1].IsVar && nodes[2].IsVar && nodes[1].Var == nodes[2].Var
+// reject reports a match violating a repeated-variable constraint.
+func (x *extendExec) reject(t store.IDTriple) bool {
+	return x.sameSP && t.S != t.P || x.sameSO && t.S != t.O || x.samePO && t.P != t.O
+}
 
-	w := len(cur.vars)
-	rowBuf := make([]store.ID, len(outVars))
-	// Probe results are cached by resolved key so rows sharing a key share
-	// one index scan. When the bound columns turn out to be (nearly) all
-	// distinct the cache can only retain memory without saving probes, so
-	// insertion stops once it grows large with no hits.
+// emit appends the merge of one current row and one match onto out, using
+// rowBuf (len(outVars)) as scratch.
+func (x *extendExec) emit(out *idRows, rowBuf, row []store.ID, m store.IDTriple) {
+	copy(rowBuf, row)
+	for j := x.curW; j < len(rowBuf); j++ {
+		rowBuf[j] = 0
+	}
+	if x.slots[0].isVar {
+		rowBuf[x.slots[0].outCol] = m.S
+	}
+	if x.slots[1].isVar {
+		rowBuf[x.slots[1].outCol] = m.P
+	}
+	if x.slots[2].isVar {
+		rowBuf[x.slots[2].outCol] = m.O
+	}
+	out.appendRow(rowBuf)
+}
+
+// scanRows extends current rows [lo, hi) into a fresh batch, probing the
+// store per distinct resolved key. Rows that resolve to the same concrete
+// id pattern share one index probe: when no pattern variable is bound yet
+// (the common case for the first pattern of a BGP) the store is probed
+// exactly once for the whole range instead of once per row. The probe
+// cache is per call, so concurrent ranges never share mutable state; when
+// the bound columns turn out to be (nearly) all distinct the cache can
+// only retain memory without saving probes, so insertion stops once it
+// grows large with no hits.
+func (x *extendExec) scanRows(cur *idRows, lo, hi int, tk *ticker) (*idRows, error) {
+	out := newIDRows(x.outVars)
+	w := x.curW
+	rowBuf := make([]store.ID, len(x.outVars))
 	probeCache := make(map[store.IDTriple][]store.IDTriple)
 	cacheHits := 0
-	for i := 0; i < cur.n; i++ {
-		if err := ev.tick(); err != nil {
+	for i := lo; i < hi; i++ {
+		if err := tk.tick(); err != nil {
 			return nil, err
 		}
 		row := cur.data[i*w : (i+1)*w]
-		var key store.IDTriple
-		for k := range slots {
-			s := &slots[k]
-			id := s.constID
-			if s.isVar {
-				if s.curCol >= 0 {
-					id = row[s.curCol] // 0 stays a wildcard
-				} else {
-					id = 0
-				}
-			}
-			switch k {
-			case 0:
-				key.S = id
-			case 1:
-				key.P = id
-			case 2:
-				key.O = id
-			}
-		}
+		key := x.rowKey(row)
 		matches, cached := probeCache[key]
 		if cached {
 			cacheHits++
 		} else {
 			var iterErr error
-			ev.store.MatchAny(graphs, key, func(t store.IDTriple) bool {
-				if err := ev.tick(); err != nil {
+			x.store.MatchAny(x.graphs, key, func(t store.IDTriple) bool {
+				if err := tk.tick(); err != nil {
 					iterErr = err
 					return false
 				}
-				if sameSP && t.S != t.P || sameSO && t.S != t.O || samePO && t.P != t.O {
+				if x.reject(t) {
 					return true
 				}
 				matches = append(matches, t)
@@ -747,23 +842,10 @@ func (ev *evaluator) extend(cur *idRows, pat TriplePattern, graphs []string) (*i
 			}
 		}
 		for _, m := range matches {
-			if err := ev.tick(); err != nil {
+			if err := tk.tick(); err != nil {
 				return nil, err
 			}
-			copy(rowBuf, row)
-			for j := w; j < len(rowBuf); j++ {
-				rowBuf[j] = 0
-			}
-			if slots[0].isVar {
-				rowBuf[slots[0].outCol] = m.S
-			}
-			if slots[1].isVar {
-				rowBuf[slots[1].outCol] = m.P
-			}
-			if slots[2].isVar {
-				rowBuf[slots[2].outCol] = m.O
-			}
-			out.appendRow(rowBuf)
+			x.emit(out, rowBuf, row, m)
 		}
 	}
 	return out, nil

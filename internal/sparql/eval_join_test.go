@@ -14,6 +14,35 @@ import (
 // re-binding within a single pattern, and the composite-key collisions the
 // old string-based keys were vulnerable to.
 
+// joinRows and leftJoinRows drive the joinExec machinery serially with no
+// deadline — the shape production code reaches through evaluator.join.
+func joinRows(l, r *idRows) *idRows {
+	jx := makeJoinExec(l, r, false)
+	if l.n == 0 || r.n == 0 {
+		return newIDRows(jx.js.outVars)
+	}
+	out, err := jx.joinRange(0, l.n, &ticker{})
+	if err != nil {
+		panic(err) // no deadline or context: joinRange cannot fail
+	}
+	return out
+}
+
+func leftJoinRows(l, r *idRows) *idRows {
+	if r.n == 0 {
+		return l
+	}
+	jx := makeJoinExec(l, r, true)
+	if l.n == 0 {
+		return newIDRows(jx.js.outVars)
+	}
+	out, err := jx.joinRange(0, l.n, &ticker{})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
 // rowsOf builds an idRows batch from term rows via the dictionary; nil
 // terms stay unbound.
 func rowsOf(d *evalDict, vars []string, rows ...[]rdf.Term) *idRows {
@@ -47,7 +76,7 @@ func TestJoinRowsNeedVerify(t *testing.T) {
 		[]rdf.Term{iri("a"), iri("w"), iri("z2")},
 		[]rdf.Term{iri("b"), iri("v"), iri("z3")},
 	)
-	out := joinRows(left, right, time.Time{})
+	out := joinRows(left, right)
 	// Row 1 (a,u) matches only (a,u,z1); row 2 (a,unbound) is compatible
 	// with both right rows for x=a and adopts their ?y; row 3 matches z3.
 	if out.n != 4 {
@@ -68,7 +97,7 @@ func TestJoinRowsCrossProduct(t *testing.T) {
 	d := newEvalDict(store.NewDictionary())
 	left := rowsOf(d, []string{"a"}, []rdf.Term{iri("l1")}, []rdf.Term{iri("l2")})
 	right := rowsOf(d, []string{"b"}, []rdf.Term{iri("r1")}, []rdf.Term{iri("r2")}, []rdf.Term{iri("r3")})
-	out := joinRows(left, right, time.Time{})
+	out := joinRows(left, right)
 	if out.n != 6 || out.width() != 2 {
 		t.Fatalf("rows = %d width = %d, want 6 x 2", out.n, out.width())
 	}
@@ -83,7 +112,7 @@ func TestLeftJoinRowsUnmatchedKeepsRow(t *testing.T) {
 	d := newEvalDict(store.NewDictionary())
 	left := rowsOf(d, []string{"x"}, []rdf.Term{iri("a")}, []rdf.Term{iri("b")})
 	right := rowsOf(d, []string{"x", "w"}, []rdf.Term{iri("a"), iri("award")})
-	out := leftJoinRows(left, right, time.Time{})
+	out := leftJoinRows(left, right)
 	if out.n != 2 {
 		t.Fatalf("rows = %d, want 2", out.n)
 	}
@@ -100,7 +129,7 @@ func TestLeftJoinRowsEmptyRightIsIdentity(t *testing.T) {
 	d := newEvalDict(store.NewDictionary())
 	left := rowsOf(d, []string{"x"}, []rdf.Term{iri("a")})
 	right := newIDRows([]string{"x", "w"})
-	out := leftJoinRows(left, right, time.Time{})
+	out := leftJoinRows(left, right)
 	if out.n != 1 {
 		t.Fatalf("rows = %d, want 1", out.n)
 	}

@@ -1,8 +1,6 @@
 package sparql
 
 import (
-	"time"
-
 	"rdfframes/internal/rdf"
 	"rdfframes/internal/store"
 )
@@ -365,167 +363,141 @@ func joinKeyCols(l, r *idRows, shared [][2]int) (lcols, rcols []int) {
 // none) and next[j] the following row in the same bucket. Chains avoid one
 // bucket-slice allocation per right row. Keys of up to two columns pack
 // into a uint64; wider keys use fixed-width byte strings — either way the
-// key is collision-free, unlike the old Term.String()+"\x00" concatenation.
+// key is collision-free. Once built the index is read-only: lookups take a
+// caller-owned scratch buffer instead of mutating shared state, so
+// concurrent left-row morsels can probe one index safely.
 type joinIndex struct {
-	first func(lrow []store.ID) int32
-	next  []int32
+	head64  map[uint64]int32 // nil when the key is wider than two columns
+	headStr map[string]int32
+	lcols   []int
+	next    []int32
 }
 
 func buildJoinIndex(r *idRows, rcols, lcols []int) joinIndex {
-	next := make([]int32, r.n)
+	ix := joinIndex{lcols: lcols, next: make([]int32, r.n)}
 	if len(rcols) <= 2 {
-		key := func(row []store.ID, cols []int) uint64 {
-			k := uint64(row[cols[0]])
-			if len(cols) == 2 {
-				k = k<<32 | uint64(row[cols[1]])
-			}
-			return k
-		}
-		head := make(map[uint64]int32, r.n)
+		ix.head64 = make(map[uint64]int32, r.n)
 		for j := r.n - 1; j >= 0; j-- { // reverse, so chains run ascending
-			k := key(r.row(j), rcols)
-			next[j] = head[k] - 1 // missing key yields 0, i.e. end marker -1
-			head[k] = int32(j) + 1
+			k := packIDKey(r.row(j), rcols)
+			ix.next[j] = ix.head64[k] - 1 // missing key yields 0, i.e. end marker -1
+			ix.head64[k] = int32(j) + 1
 		}
-		return joinIndex{
-			first: func(lrow []store.ID) int32 { return head[key(lrow, lcols)] - 1 },
-			next:  next,
-		}
+		return ix
 	}
-	head := make(map[string]int32, r.n)
+	ix.headStr = make(map[string]int32, r.n)
 	var kb []byte
 	for j := r.n - 1; j >= 0; j-- {
 		kb = appendIDKeyCols(kb[:0], r.row(j), rcols)
 		k := string(kb)
-		next[j] = head[k] - 1
-		head[k] = int32(j) + 1
+		ix.next[j] = ix.headStr[k] - 1
+		ix.headStr[k] = int32(j) + 1
 	}
-	return joinIndex{
-		first: func(lrow []store.ID) int32 {
-			kb = appendIDKeyCols(kb[:0], lrow, lcols)
-			return head[string(kb)] - 1
-		},
-		next: next,
-	}
+	return ix
 }
 
-// joinRows computes the SPARQL join of two batches. It hash-joins on the
-// shared columns bound in every row (verifying the rest per pair) and falls
-// back to a nested loop, mirroring the Binding-based join semantics
-// exactly. A non-zero deadline truncates the join once passed (checked
-// every 1024 left rows); callers that care must re-check the deadline.
-func joinRows(l, r *idRows, deadline time.Time) *idRows {
-	js := makeJoinShape(l, r)
-	out := newIDRows(js.outVars)
-	if l.n == 0 || r.n == 0 {
-		return out
+// packIDKey packs one or two key columns into a uint64.
+func packIDKey(row []store.ID, cols []int) uint64 {
+	k := uint64(row[cols[0]])
+	if len(cols) == 2 {
+		k = k<<32 | uint64(row[cols[1]])
 	}
-	buf := make([]store.ID, len(js.outVars))
-	if len(js.shared) == 0 {
-		out.data = make([]store.ID, 0, l.n*r.n*len(js.outVars))
-		for i := 0; i < l.n; i++ {
-			if deadlineExceeded(deadline, i) {
-				return out
-			}
-			lrow := l.row(i)
-			for j := 0; j < r.n; j++ {
-				js.emit(buf, lrow, r.row(j))
-				out.appendRow(buf)
-			}
-		}
-		return out
+	return k
+}
+
+// first returns the head of lrow's bucket chain (-1 for none). kb is the
+// caller's scratch buffer for wide keys.
+func (ix *joinIndex) first(lrow []store.ID, kb *[]byte) int32 {
+	if ix.head64 != nil {
+		return ix.head64[packIDKey(lrow, ix.lcols)] - 1
 	}
-	lcols, rcols := joinKeyCols(l, r, js.shared)
-	needVerify := len(lcols) < len(js.shared)
+	*kb = appendIDKeyCols((*kb)[:0], lrow, ix.lcols)
+	return ix.headStr[string(*kb)] - 1
+}
+
+// joinExec is one join compiled against its inputs: the merged shape plus
+// the hash index over the right batch when the shared columns admit one.
+// joinRange only reads the exec and its batches, so disjoint left-row
+// ranges run concurrently (see evaluator.join in parallel.go).
+type joinExec struct {
+	l, r       *idRows
+	js         joinShape
+	leftOuter  bool
+	index      joinIndex
+	haveIndex  bool
+	needVerify bool
+}
+
+// makeJoinExec builds the shape and, when both batches are non-empty and
+// at least one shared column is bound everywhere, the hash index.
+func makeJoinExec(l, r *idRows, leftOuter bool) *joinExec {
+	jx := &joinExec{l: l, r: r, js: makeJoinShape(l, r), leftOuter: leftOuter}
+	if l.n == 0 || r.n == 0 || len(jx.js.shared) == 0 {
+		return jx
+	}
+	lcols, rcols := joinKeyCols(l, r, jx.js.shared)
 	if len(lcols) > 0 {
-		index := buildJoinIndex(r, rcols, lcols)
-		for i := 0; i < l.n; i++ {
-			if deadlineExceeded(deadline, i) {
-				return out
-			}
-			lrow := l.row(i)
-			for j := index.first(lrow); j >= 0; j = index.next[j] {
-				rrow := r.row(int(j))
-				if !needVerify || compatibleRows(lrow, rrow, js.shared) {
-					js.emit(buf, lrow, rrow)
-					out.appendRow(buf)
-				}
-			}
-		}
-		return out
+		jx.index = buildJoinIndex(r, rcols, lcols)
+		jx.haveIndex = true
+		jx.needVerify = len(lcols) < len(jx.js.shared)
 	}
-	for i := 0; i < l.n; i++ {
-		if deadlineExceeded(deadline, i) {
-			return out
-		}
-		lrow := l.row(i)
-		for j := 0; j < r.n; j++ {
-			rrow := r.row(j)
-			if compatibleRows(lrow, rrow, js.shared) {
-				js.emit(buf, lrow, rrow)
-				out.appendRow(buf)
-			}
-		}
-	}
-	return out
+	return jx
 }
 
-// leftJoinRows computes the SPARQL left outer join of two batches with the
-// same deadline contract as joinRows. When the right side is empty the left
-// batch is returned unchanged.
-func leftJoinRows(l, r *idRows, deadline time.Time) *idRows {
-	if r.n == 0 {
-		return l
-	}
-	js := makeJoinShape(l, r)
-	out := newIDRows(js.outVars)
-	if l.n == 0 {
-		return out
-	}
-	buf := make([]store.ID, len(js.outVars))
-	lcols, rcols := joinKeyCols(l, r, js.shared)
-	if len(js.shared) > 0 && len(lcols) > 0 {
-		needVerify := len(lcols) < len(js.shared)
-		index := buildJoinIndex(r, rcols, lcols)
-		for i := 0; i < l.n; i++ {
-			if deadlineExceeded(deadline, i) {
-				return out
+// joinRange joins left rows [lo, hi) against the whole right batch into a
+// fresh batch: a hash probe when the index exists, otherwise a nested loop
+// verifying SPARQL compatibility per pair (which degenerates to the cross
+// product when no columns are shared), mirroring the Binding-based join
+// semantics exactly.
+func (jx *joinExec) joinRange(lo, hi int, tk *ticker) (*idRows, error) {
+	out := newIDRows(jx.js.outVars)
+	buf := make([]store.ID, len(jx.js.outVars))
+	if jx.haveIndex {
+		var kb []byte
+		for i := lo; i < hi; i++ {
+			if err := tk.tick(); err != nil {
+				return nil, err
 			}
-			lrow := l.row(i)
+			lrow := jx.l.row(i)
 			matched := false
-			for j := index.first(lrow); j >= 0; j = index.next[j] {
-				rrow := r.row(int(j))
-				if !needVerify || compatibleRows(lrow, rrow, js.shared) {
-					js.emit(buf, lrow, rrow)
+			for j := jx.index.first(lrow, &kb); j >= 0; j = jx.index.next[j] {
+				rrow := jx.r.row(int(j))
+				if !jx.needVerify || compatibleRows(lrow, rrow, jx.js.shared) {
+					jx.js.emit(buf, lrow, rrow)
 					out.appendRow(buf)
 					matched = true
 				}
 			}
-			if !matched {
-				js.emitLeft(buf, lrow)
+			if !matched && jx.leftOuter {
+				jx.js.emitLeft(buf, lrow)
 				out.appendRow(buf)
 			}
 		}
-		return out
+		return out, nil
 	}
-	for i := 0; i < l.n; i++ {
-		if deadlineExceeded(deadline, i) {
-			return out
-		}
-		lrow := l.row(i)
+	if len(jx.js.shared) == 0 && !jx.leftOuter {
+		out.data = make([]store.ID, 0, (hi-lo)*jx.r.n*len(jx.js.outVars))
+	}
+	for i := lo; i < hi; i++ {
+		lrow := jx.l.row(i)
 		matched := false
-		for j := 0; j < r.n; j++ {
-			rrow := r.row(j)
-			if compatibleRows(lrow, rrow, js.shared) {
-				js.emit(buf, lrow, rrow)
+		for j := 0; j < jx.r.n; j++ {
+			// Tick inside the inner loop: one left row of a nested-loop
+			// join sweeps the whole right batch, which can dwarf the
+			// per-left-row cadence.
+			if err := tk.tick(); err != nil {
+				return nil, err
+			}
+			rrow := jx.r.row(j)
+			if compatibleRows(lrow, rrow, jx.js.shared) {
+				jx.js.emit(buf, lrow, rrow)
 				out.appendRow(buf)
 				matched = true
 			}
 		}
-		if !matched {
-			js.emitLeft(buf, lrow)
+		if !matched && jx.leftOuter {
+			jx.js.emitLeft(buf, lrow)
 			out.appendRow(buf)
 		}
 	}
-	return out
+	return out, nil
 }

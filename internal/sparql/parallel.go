@@ -1,0 +1,333 @@
+package sparql
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdfframes/internal/store"
+)
+
+// Morsel-driven intra-query parallelism. The evaluator's id-space operators
+// — base index scans, per-row pattern probes, hash/nested-loop joins,
+// DISTINCT, and the final decode — partition their input into fixed-size
+// morsels, fan the morsels out to a bounded worker pool, and merge the
+// per-morsel partial batches back in morsel order.
+//
+// Determinism guarantee: parallel evaluation is byte-identical to serial
+// evaluation at every Parallelism setting. Each operator's morsels are
+// contiguous ranges of the exact stream the serial operator consumes (row
+// ranges of the current batch, or store.MatchParts segments whose
+// concatenation is the MatchAny stream), each worker emits rows in the same
+// order the serial loop would for its range, and mergeParts concatenates
+// partials strictly in morsel order. Operators whose output depends on
+// cross-row state resolve it the way the serial code does: DISTINCT merges
+// per-morsel survivors serially in morsel order so the global first
+// occurrence wins, and joins share one index built up front. Everything
+// that evaluates expressions (FILTER, BIND, aggregates, ORDER BY keys)
+// stays on the query goroutine: expression evaluation interns computed
+// terms into the evaluator's dictionary and memoizes compiled regexes,
+// both of which are deliberately unsynchronized.
+//
+// Workers touch only read-only shared state (the store under the engine's
+// read lock, the current batch, the join index) plus worker-local
+// scratch (probe caches, key buffers, output batches), which is what keeps
+// the pool race-free.
+const (
+	// morselRows is the number of solution rows per morsel for
+	// row-partitioned operators (probes, joins, DISTINCT, decode).
+	morselRows = 1024
+	// morselScan is the number of index entries per morsel for partitioned
+	// base scans.
+	morselScan = 4096
+	// minParallelRows/minParallelScan gate parallel execution: below these
+	// sizes scheduling overhead outweighs any speedup and the operators
+	// stay on the query goroutine.
+	minParallelRows = 2 * morselRows
+	minParallelScan = 2 * morselScan
+)
+
+// ticker tracks one goroutine's evaluation progress, checking the query
+// deadline and context cancellation every few thousand steps. The query
+// goroutine owns one (evaluator.tk); every pool worker gets its own, so
+// progress counting never races. Cancellation stops a worker within one
+// tick window, and the scheduler additionally checks between morsels, so
+// an abandoned query's workers quit within one morsel.
+type ticker struct {
+	steps    int
+	deadline time.Time
+	ctx      context.Context
+}
+
+// tick counts one step and polls check every 8192 steps.
+func (t *ticker) tick() error {
+	t.steps++
+	if t.steps&0x1fff != 0 {
+		return nil
+	}
+	return t.check()
+}
+
+// check reports a context or deadline expiry. A context deadline maps to
+// ErrTimeout (the engine's timeout error); cancellation surfaces as the
+// context's own error.
+func (t *ticker) check() error {
+	if t.ctx != nil {
+		if err := t.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return ErrTimeout
+			}
+			return err
+		}
+	}
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// forEachPart runs fn for every part index in [0, n), fanning out to the
+// evaluator's worker pool when it is enabled (and to at most n workers).
+// Parts are claimed from a shared counter so stragglers do not serialize
+// the tail. Each worker receives its own ticker; the first error (lowest
+// part index) is returned and stops the pool at morsel granularity.
+func (ev *evaluator) forEachPart(n int, fn func(part int, tk *ticker) error) error {
+	workers := ev.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i, &ev.tk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := ticker{deadline: ev.tk.deadline, ctx: ev.tk.ctx}
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := tk.check(); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				if err := fn(i, &tk); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runParts is forEachPart collecting one partial batch per part, in part
+// order.
+func (ev *evaluator) runParts(n int, run func(part int, tk *ticker) (*idRows, error)) ([]*idRows, error) {
+	parts := make([]*idRows, n)
+	err := ev.forEachPart(n, func(i int, tk *ticker) error {
+		p, err := run(i, tk)
+		parts[i] = p
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// mergeParts concatenates partial batches (all sharing the same column
+// layout) strictly in part order — the order-preserving combiner that makes
+// parallel output identical to the serial operator's.
+func mergeParts(vars []string, parts []*idRows) *idRows {
+	out := newIDRows(vars)
+	total := 0
+	for _, p := range parts {
+		total += p.n
+	}
+	out.data = make([]store.ID, 0, total*len(vars))
+	for _, p := range parts {
+		out.data = append(out.data, p.data...)
+		out.n += p.n
+	}
+	return out
+}
+
+// rowChunks splits [0, n) row indexes into morsel-sized [lo, hi) ranges
+// (store.ChunkBounds, shared with the scan partitioner).
+func rowChunks(n, morsel int) [][2]int { return store.ChunkBounds(n, morsel) }
+
+// extendParallel tries to run a compiled pattern extension on the worker
+// pool. done is false when the extension should run serially instead: the
+// pool is off, or the input is too small to be worth scheduling.
+func (ev *evaluator) extendParallel(x *extendExec, cur *idRows) (out *idRows, done bool, err error) {
+	if ev.workers <= 1 {
+		return nil, false, nil
+	}
+	// Base scan: every current row resolves to the same probe key (no slot
+	// reads a current-batch column). With a single current row the morsels
+	// come from the store's range-partitioned scan; matches map one-to-one
+	// onto output rows, in scan order.
+	if x.keyConst && cur.n == 1 {
+		key := x.rowKey(cur.row(0))
+		if ev.store.Cardinality(x.graphs, key) < minParallelScan {
+			return nil, false, nil
+		}
+		scans := ev.store.MatchParts(x.graphs, key, morselScan)
+		if len(scans) < 2 {
+			return nil, false, nil
+		}
+		row := cur.row(0)
+		parts, err := ev.runParts(len(scans), func(p int, tk *ticker) (*idRows, error) {
+			part := newIDRows(x.outVars)
+			rowBuf := make([]store.ID, len(x.outVars))
+			var iterErr error
+			scans[p](func(m store.IDTriple) bool {
+				if err := tk.tick(); err != nil {
+					iterErr = err
+					return false
+				}
+				if x.reject(m) {
+					return true
+				}
+				x.emit(part, rowBuf, row, m)
+				return true
+			})
+			if iterErr != nil {
+				return nil, iterErr
+			}
+			return part, nil
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		return mergeParts(x.outVars, parts), true, nil
+	}
+	// A constant key over many rows is a cross-product shape: the serial
+	// path answers it with exactly one index scan shared through the probe
+	// cache, which row morsels (with per-worker caches) would redo once
+	// per morsel. Stay serial.
+	if x.keyConst {
+		return nil, false, nil
+	}
+	// General case: morsels are contiguous ranges of current rows; each
+	// worker runs the same probe loop the serial path does, with its own
+	// probe cache.
+	if cur.n < minParallelRows {
+		return nil, false, nil
+	}
+	bounds := rowChunks(cur.n, morselRows)
+	parts, err := ev.runParts(len(bounds), func(p int, tk *ticker) (*idRows, error) {
+		return x.scanRows(cur, bounds[p][0], bounds[p][1], tk)
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	return mergeParts(x.outVars, parts), true, nil
+}
+
+// join computes the SPARQL (left outer when leftOuter) join of two batches,
+// on the worker pool when the left side is large enough: the join index is
+// built once up front, left-row morsels probe it concurrently, and partials
+// merge in morsel order — the exact row order of the serial loop.
+func (ev *evaluator) join(l, r *idRows, leftOuter bool) (*idRows, error) {
+	if leftOuter && r.n == 0 {
+		return l, nil
+	}
+	jx := makeJoinExec(l, r, leftOuter)
+	if l.n == 0 || r.n == 0 {
+		return newIDRows(jx.js.outVars), nil
+	}
+	if ev.workers > 1 && l.n >= minParallelRows {
+		bounds := rowChunks(l.n, morselRows)
+		parts, err := ev.runParts(len(bounds), func(p int, tk *ticker) (*idRows, error) {
+			return jx.joinRange(bounds[p][0], bounds[p][1], tk)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return mergeParts(jx.js.outVars, parts), nil
+	}
+	return jx.joinRange(0, l.n, &ev.tk)
+}
+
+// distinctRows removes duplicate rows keeping first occurrences in order,
+// like idRows.distinct, but hashes morsels on the worker pool: each worker
+// dedups its range and records the survivors' keys, then a serial merge in
+// morsel order applies global first-occurrence-wins — the same rows survive
+// as in the serial pass.
+func (ev *evaluator) distinctRows(r *idRows) error {
+	if ev.workers <= 1 || r.n < minParallelRows {
+		r.distinct()
+		return nil
+	}
+	w := r.width()
+	bounds := rowChunks(r.n, morselRows)
+	type survivors struct {
+		rows []int32  // in-range first occurrences, ascending
+		keys []string // their encoded keys
+	}
+	parts := make([]survivors, len(bounds))
+	err := ev.forEachPart(len(bounds), func(p int, tk *ticker) error {
+		lo, hi := bounds[p][0], bounds[p][1]
+		seen := make(map[string]bool, hi-lo)
+		var kb []byte
+		var pk survivors
+		for i := lo; i < hi; i++ {
+			if err := tk.tick(); err != nil {
+				return err
+			}
+			kb = appendIDKeyRow(kb[:0], r.row(i))
+			if seen[string(kb)] {
+				continue
+			}
+			k := string(kb)
+			seen[k] = true
+			pk.rows = append(pk.rows, int32(i))
+			pk.keys = append(pk.keys, k)
+		}
+		parts[p] = pk
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool, r.n)
+	keep := 0
+	for _, pk := range parts {
+		for j, i := range pk.rows {
+			if seen[pk.keys[j]] {
+				continue
+			}
+			seen[pk.keys[j]] = true
+			if keep != int(i) {
+				copy(r.data[keep*w:(keep+1)*w], r.data[int(i)*w:(int(i)+1)*w])
+			}
+			keep++
+		}
+	}
+	r.n = keep
+	r.data = r.data[:keep*w]
+	return nil
+}

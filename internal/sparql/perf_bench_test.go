@@ -3,7 +3,6 @@ package sparql
 import (
 	"fmt"
 	"testing"
-	"time"
 
 	"rdfframes/internal/rdf"
 	"rdfframes/internal/store"
@@ -72,7 +71,7 @@ func BenchmarkHashJoin(b *testing.B) {
 		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				out := joinRows(l, r, time.Time{})
+				out := joinRows(l, r)
 				if out.n != n {
 					b.Fatalf("rows = %d", out.n)
 				}
