@@ -4,6 +4,7 @@
 // (the bench boxes are shared single cores; wall-clock deltas are noise).
 //
 //	benchcheck -committed BENCH_sparql.json -fresh /tmp/bench-smoke.json
+//	benchcheck -fresh out.json -strict -sections 5,serving,parallel,planner
 //
 // Structural checks (exit 1 on failure):
 //   - both reports parse and the fresh one has measurements,
@@ -11,11 +12,19 @@
 //     (task, approach) pairs,
 //   - no fresh measurement has an empty timing (zero seconds without an
 //     error) and none reports an error,
-//   - result byte-identity flags recorded by the serving and parallel
-//     sections are all true (a false one is a determinism regression),
-//   - sections present in both reports are non-degenerate in the fresh one.
+//   - result byte-identity flags recorded by the serving, parallel, and
+//     planner sections are all true (a false one is a determinism or
+//     planner-correctness regression),
+//   - sections present in the fresh report are non-degenerate.
 //
-// Timing deltas between the reports are printed as warnings only.
+// -strict additionally requires every section named by -sections (figure
+// numbers and/or "storage", "serving", "parallel", "planner") to be present
+// in the fresh report — a missing section means the harness silently
+// dropped a workload and is a hard failure.
+//
+// Timing deltas between the reports are always printed as warnings only:
+// the bench boxes are shared single cores, and wall-clock noise is not a
+// regression.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"rdfframes/internal/bench"
 )
@@ -31,6 +41,8 @@ func main() {
 	committedPath := flag.String("committed", "BENCH_sparql.json", "committed reference report")
 	freshPath := flag.String("fresh", "", "freshly generated report to check")
 	warnRatio := flag.Float64("warn-ratio", 3, "warn when a shared measurement's timing ratio exceeds this (either direction)")
+	strict := flag.Bool("strict", false, "missing -sections entries become hard failures")
+	sections := flag.String("sections", "", "comma-separated sections the fresh report must contain under -strict (e.g. 5,serving,parallel,planner)")
 	flag.Parse()
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -fresh is required")
@@ -47,6 +59,9 @@ func main() {
 	}
 
 	problems := check(committed, fresh, *warnRatio)
+	if *strict {
+		problems = append(problems, checkSections(fresh, *sections)...)
+	}
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %s\n", p)
@@ -54,6 +69,42 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchcheck: fresh report is structurally sound")
+}
+
+// checkSections enforces -strict section presence: every named section must
+// exist (and figures must have at least one measurement) in the fresh
+// report.
+func checkSections(fresh *bench.JSONReport, sections string) []string {
+	if sections == "" {
+		return nil
+	}
+	figures := map[string]bool{}
+	for _, m := range fresh.Measurements {
+		figures[m.Figure] = true
+	}
+	var problems []string
+	for _, s := range strings.Split(sections, ",") {
+		s = strings.TrimSpace(s)
+		missing := false
+		switch s {
+		case "":
+			continue
+		case "storage":
+			missing = fresh.Storage == nil
+		case "serving":
+			missing = fresh.Serving == nil
+		case "parallel":
+			missing = fresh.Parallel == nil
+		case "planner":
+			missing = fresh.Planner == nil
+		default:
+			missing = !figures[s]
+		}
+		if missing {
+			problems = append(problems, fmt.Sprintf("required section %q missing from fresh report", s))
+		}
+	}
+	return problems
 }
 
 func readReport(path string) (*bench.JSONReport, error) {
@@ -134,6 +185,19 @@ func check(committed, fresh *bench.JSONReport, warnRatio float64) []string {
 			}
 			if q.SerialSeconds <= 0 || q.ParallelSeconds <= 0 {
 				problems = append(problems, fmt.Sprintf("parallel %s has an empty timing", q.Task))
+			}
+		}
+	}
+	if fresh.Planner != nil {
+		if len(fresh.Planner.Queries) == 0 {
+			problems = append(problems, "planner section has no queries")
+		}
+		for _, q := range fresh.Planner.Queries {
+			if !q.ByteIdentical {
+				problems = append(problems, fmt.Sprintf("planner %s: optimized result not byte-identical to heuristic", q.Task))
+			}
+			if q.HeuristicSeconds <= 0 || q.OptimizedSeconds <= 0 {
+				problems = append(problems, fmt.Sprintf("planner %s has an empty timing", q.Task))
 			}
 		}
 	}

@@ -10,13 +10,14 @@
 //
 //	benchrunner                 # all figures, small scale
 //	benchrunner -scale bench -fig 5 -timeout 60s
-//	benchrunner -fig 5,storage,serving,parallel -out BENCH_sparql.json
+//	benchrunner -fig 5,storage,serving,parallel,planner -out BENCH_sparql.json
 //	benchrunner -bestof 3       # keep the best of 3 runs per measurement
 //	benchrunner -parallel 4     # intra-query morsel workers (1 = serial engine)
 //	benchrunner -snapshot data.snap -fig 5   # reopen dataset from snapshot
 //	benchrunner -data ./data -fig 5          # load dbpedia/dblp/yago .nt files
 //	benchrunner -verify         # also verify result equality across approaches
 //	benchrunner -digest out.txt # print per-query result digests and exit
+//	benchrunner -explain        # print optimized EXPLAIN plans and exit
 //
 // -fig serving runs the repeated-query serving workload: every Figure-5
 // query issued over HTTP cold (no cache) and warm (plan + result caches),
@@ -26,6 +27,11 @@
 // -fig parallel runs the morsel-parallelism workload: every Figure-5 query
 // evaluated serially (Parallelism 1) and with -parallel workers, recording
 // timings and result byte-identity.
+//
+// -fig planner runs the query-planner workload: every Figure-5 query
+// evaluated with the greedy probe-memoized heuristic (DisableOptimizer)
+// and with the cost-based planner, recording timings and result
+// byte-identity.
 //
 // -digest evaluates the Figure-5 suite and writes one "task sha256" line
 // per query (no timings). CI runs it twice — GOMAXPROCS=1 -parallel 1
@@ -57,7 +63,7 @@ const servingWarmRequests = 30
 func main() {
 	var (
 		scaleFlag = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
-		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving")`)
+		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner")`)
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
 		bestOf    = flag.Int("bestof", 1, "rerun each measured phase N times and keep the best (use >=3 when regenerating committed numbers)")
 		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
@@ -66,6 +72,7 @@ func main() {
 		dataDir   = flag.String("data", "", "load dbpedia.nt/dblp.nt/yago.nt from this directory instead of generating")
 		parallel  = flag.Int("parallel", 4, "intra-query morsel workers for the engine and the parallel figure (0 = GOMAXPROCS, 1 = serial)")
 		digest    = flag.String("digest", "", "write per-query Figure-5 result digests to this file and exit (for determinism checks)")
+		explain   = flag.Bool("explain", false, "print the optimized EXPLAIN plan of every Figure-5 query and exit")
 	)
 	flag.Parse()
 
@@ -88,6 +95,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *digest)
+		return
+	}
+	if *explain {
+		if err := printExplains(env); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	for _, uri := range []string{datagen.DBpediaURI, datagen.DBLPURI, datagen.YAGOURI} {
@@ -141,6 +154,14 @@ func main() {
 			}
 			report.Parallel = rep
 			fmt.Println(bench.FormatParallel(rep))
+		case "planner":
+			fmt.Fprintln(os.Stderr, "measuring query planner (greedy heuristic vs cost-based ordering)...")
+			rep, err := bench.MeasurePlanner(env, *bestOf, *timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Planner = rep
+			fmt.Println(bench.FormatPlanner(rep))
 		case "3":
 			rows := bench.RunFigure3(env, *timeout, *bestOf)
 			report.Add("3", rows)
@@ -200,6 +221,23 @@ func writeDigest(env *bench.Env, path string) error {
 		fmt.Fprintf(&sb, "%s %x %d\n", task.ID, sha256.Sum256(body), len(res.Rows))
 	}
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// printExplains prints the optimized EXPLAIN plan (estimated vs actual
+// cardinalities) of every Figure-5 query.
+func printExplains(env *bench.Env) error {
+	for _, task := range bench.Synthetic() {
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			return fmt.Errorf("explain %s: %w", task.ID, err)
+		}
+		rep, err := env.Engine.Explain(query)
+		if err != nil {
+			return fmt.Errorf("explain %s: %w", task.ID, err)
+		}
+		fmt.Printf("== %s (%s)\n%s\n", task.ID, task.Name, rep.Text())
+	}
+	return nil
 }
 
 // buildEnv sets up the benchmark environment from one of three sources: a

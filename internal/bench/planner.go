@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+// PlannerQuery is one Figure-5 query measured under the greedy
+// probe-memoized heuristic versus the cost-based planner, directly on the
+// engine (no HTTP), at Parallelism 1 so the comparison isolates join
+// ordering from the morsel pool.
+type PlannerQuery struct {
+	Task string `json:"task"`
+	Rows int    `json:"rows"`
+	// HeuristicSeconds is the evaluation time with DisableOptimizer (the
+	// pre-planner greedy ordering); OptimizedSeconds with the cost-based
+	// planner.
+	HeuristicSeconds float64 `json:"heuristic_seconds"`
+	OptimizedSeconds float64 `json:"optimized_seconds"`
+	// Speedup is HeuristicSeconds / OptimizedSeconds.
+	Speedup float64 `json:"speedup"`
+	// ByteIdentical records that the optimized evaluation's SPARQL JSON was
+	// byte-identical to the heuristic one — the planner's correctness
+	// contract.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// PlannerReport captures the query-planner benchmark: the Figure-5 suite
+// under heuristic versus cost-based join ordering.
+type PlannerReport struct {
+	// StatsEpoch is the statistics-catalog epoch the optimized runs planned
+	// against.
+	StatsEpoch uint64 `json:"stats_epoch"`
+	BestOf     int    `json:"best_of"`
+	// HeuristicSuiteSeconds/OptimizedSuiteSeconds sum the per-query times;
+	// Speedup is their ratio.
+	HeuristicSuiteSeconds float64 `json:"heuristic_suite_seconds"`
+	OptimizedSuiteSeconds float64 `json:"optimized_suite_seconds"`
+	Speedup               float64 `json:"speedup"`
+
+	Queries []PlannerQuery `json:"queries"`
+}
+
+// MeasurePlanner evaluates every Figure-5 query with the greedy heuristic
+// (DisableOptimizer) and with the cost-based planner, timing each with a
+// best-of-bestOf and checking the two result serializations byte for byte.
+func MeasurePlanner(env *Env, bestOf int, timeout time.Duration) (*PlannerReport, error) {
+	if bestOf < 1 {
+		bestOf = 1
+	}
+	heurEng := sparql.NewEngine(env.Store)
+	heurEng.SetTimeout(timeout)
+	heurEng.Parallelism = 1
+	heurEng.DisableOptimizer = true
+	optEng := sparql.NewEngine(env.Store)
+	optEng.SetTimeout(timeout)
+	optEng.Parallelism = 1
+
+	rep := &PlannerReport{StatsEpoch: env.Store.StatsEpoch(), BestOf: bestOf}
+	for _, task := range Synthetic() {
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			return nil, fmt.Errorf("bench planner %s: %w", task.ID, err)
+		}
+		want, err := evalJSON(heurEng, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench planner %s: heuristic: %w", task.ID, err)
+		}
+		got, err := evalJSON(optEng, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench planner %s: optimized: %w", task.ID, err)
+		}
+		res, err := sparql.ReadJSON(bytes.NewReader(want))
+		if err != nil {
+			return nil, fmt.Errorf("bench planner %s: decode: %w", task.ID, err)
+		}
+		pq := PlannerQuery{Task: task.ID, Rows: len(res.Rows), ByteIdentical: bytes.Equal(want, got)}
+
+		pq.HeuristicSeconds, err = timeBestSeconds(bestOf, func() error {
+			_, err := heurEng.Query(query)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench planner %s: heuristic timing: %w", task.ID, err)
+		}
+		pq.OptimizedSeconds, err = timeBestSeconds(bestOf, func() error {
+			_, err := optEng.Query(query)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench planner %s: optimized timing: %w", task.ID, err)
+		}
+		if pq.OptimizedSeconds > 0 {
+			pq.Speedup = pq.HeuristicSeconds / pq.OptimizedSeconds
+		}
+		rep.HeuristicSuiteSeconds += pq.HeuristicSeconds
+		rep.OptimizedSuiteSeconds += pq.OptimizedSeconds
+		rep.Queries = append(rep.Queries, pq)
+	}
+	if rep.OptimizedSuiteSeconds > 0 {
+		rep.Speedup = rep.HeuristicSuiteSeconds / rep.OptimizedSuiteSeconds
+	}
+	return rep, nil
+}
+
+// FormatPlanner renders the planner numbers as a text table.
+func FormatPlanner(rep *PlannerReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Query planner: Figure-5 suite, greedy heuristic vs cost-based planner (stats epoch %d)\n", rep.StatsEpoch)
+	fmt.Fprintf(&sb, "%-6s %8s %14s %14s %10s %6s\n", "query", "rows", "heuristic (s)", "optimized (s)", "speedup", "same")
+	for _, q := range rep.Queries {
+		same := "yes"
+		if !q.ByteIdentical {
+			same = "NO"
+		}
+		fmt.Fprintf(&sb, "%-6s %8d %14.6f %14.6f %9.2fx %6s\n",
+			q.Task, q.Rows, q.HeuristicSeconds, q.OptimizedSeconds, q.Speedup, same)
+	}
+	fmt.Fprintf(&sb, "suite: %.4fs heuristic -> %.4fs optimized (%.2fx, best of %d)\n",
+		rep.HeuristicSuiteSeconds, rep.OptimizedSuiteSeconds, rep.Speedup, rep.BestOf)
+	return sb.String()
+}

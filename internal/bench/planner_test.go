@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+// TestPlannerByteIdenticalFigure5 is the planner's correctness property:
+// for every Figure-5 query, evaluation under the cost-based planner — at
+// parallelism 1 and on a 4-worker morsel pool — serializes byte-identically
+// to the pre-planner greedy heuristic. Run under -race in CI, this also
+// hammers the planner's shared-plan paths from the pool workers.
+func TestPlannerByteIdenticalFigure5(t *testing.T) {
+	env := sharedEnv(t)
+	heur := sparql.NewEngine(env.Store)
+	heur.SetTimeout(time.Minute)
+	heur.Parallelism = 1
+	heur.DisableOptimizer = true
+	opt1 := sparql.NewEngine(env.Store)
+	opt1.SetTimeout(time.Minute)
+	opt1.Parallelism = 1
+	opt4 := sparql.NewEngine(env.Store)
+	opt4.SetTimeout(time.Minute)
+	opt4.Parallelism = 4
+
+	for _, task := range Synthetic() {
+		t.Run(task.ID, func(t *testing.T) {
+			query, err := task.Frame(env).ToSPARQL()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := evalJSON(heur, query)
+			if err != nil {
+				t.Fatalf("heuristic: %v", err)
+			}
+			got1, err := evalJSON(opt1, query)
+			if err != nil {
+				t.Fatalf("optimized serial: %v", err)
+			}
+			got4, err := evalJSON(opt4, query)
+			if err != nil {
+				t.Fatalf("optimized parallel: %v", err)
+			}
+			if !bytes.Equal(want, got1) {
+				t.Errorf("optimized serial result differs from heuristic")
+			}
+			if !bytes.Equal(want, got4) {
+				t.Errorf("optimized 4-worker result differs from heuristic")
+			}
+		})
+	}
+}
+
+// TestMeasurePlannerSmoke runs the planner benchmark end to end at test
+// scale and sanity-checks the report shape benchcheck relies on.
+func TestMeasurePlannerSmoke(t *testing.T) {
+	env := sharedEnv(t)
+	rep, err := MeasurePlanner(env, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries) != len(Synthetic()) {
+		t.Fatalf("queries = %d, want %d", len(rep.Queries), len(Synthetic()))
+	}
+	for _, q := range rep.Queries {
+		if !q.ByteIdentical {
+			t.Errorf("%s: not byte-identical", q.Task)
+		}
+		if q.HeuristicSeconds <= 0 || q.OptimizedSeconds <= 0 {
+			t.Errorf("%s: empty timing", q.Task)
+		}
+	}
+}

@@ -196,6 +196,10 @@ type JSONReport struct {
 	// Parallel holds the morsel-parallelism numbers (serial vs parallel
 	// evaluation and byte-identity) when benchrunner measured them.
 	Parallel *ParallelReport `json:"parallel,omitempty"`
+	// Planner holds the query-planner numbers (greedy heuristic vs
+	// cost-based join ordering and byte-identity) when benchrunner
+	// measured them.
+	Planner *PlannerReport `json:"planner,omitempty"`
 }
 
 // Add appends every measurement of the figure's rows to the report.

@@ -7,6 +7,7 @@ package client
 import (
 	"compress/gzip"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -83,6 +84,19 @@ func (c *HTTPClient) httpClient() *http.Client {
 // first response triggers LIMIT/OFFSET resumption — Select never knowingly
 // returns a partial result.
 func (c *HTTPClient) Select(query string) (*sparql.Results, error) {
+	if sparql.IsExplainQuery(query) {
+		// EXPLAIN is only legal at top level, so the pagination wrapper
+		// would make it unparsable — and re-running it per page would
+		// re-execute the query anyway. Plans are answered in one fetch; a
+		// server row cap small enough to cut a plan is surfaced as an error
+		// rather than a silently partial tree (use Explain for the
+		// structured, uncapped report).
+		res, truncated, err := c.fetch(query)
+		if err == nil && truncated {
+			return nil, fmt.Errorf("client: explain plan truncated by the server row cap; use Explain for the full report")
+		}
+		return res, err
+	}
 	if c.PageSize <= 0 {
 		res, truncated, err := c.fetch(query)
 		if err != nil || !truncated {
@@ -199,6 +213,32 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated, re
 		return nil, false, true, fmt.Errorf("client: decoding results: %w", err)
 	}
 	return r, resp.Header.Get("X-Truncated") == "true", false, nil
+}
+
+// Explain asks the endpoint for the query's optimized execution plan
+// (?explain=1): the plan tree with estimated vs actual cardinalities, as
+// produced by the engine's cost-based planner. The query is executed once
+// on the server to record actual cardinalities; results are not returned.
+func (c *HTTPClient) Explain(query string) (*sparql.ExplainReport, error) {
+	req, err := http.NewRequestWithContext(c.context(), http.MethodGet,
+		c.Endpoint+"?explain=1&query="+url.QueryEscape(query), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("client: explain returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var rep sparql.ExplainReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("client: decoding explain report: %w", err)
+	}
+	return &rep, nil
 }
 
 // paginate wraps a query as a subquery with LIMIT/OFFSET, hoisting PREFIX

@@ -100,6 +100,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
 		return
 	}
+	if explainRequested(r) {
+		s.handleExplain(w, r, query, start)
+		return
+	}
 
 	// The request context bounds the evaluation: a client that disconnects
 	// (or an abandoned benchmark run that cancels its request) stops the
@@ -154,6 +158,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logf("query ok: %d rows in %v (truncated=%v, cache=%v/%v)",
 		rows, time.Since(start), truncated, info.CacheEnabled, info.Hit)
+}
+
+// explainRequested reports whether the request asked for the query plan
+// (?explain=1 on the URL, or explain=1 in a POST form).
+func explainRequested(r *http.Request) bool {
+	if r.URL.Query().Get("explain") == "1" {
+		return true
+	}
+	return r.PostForm.Get("explain") == "1"
+}
+
+// handleExplain answers ?explain=1: the query is optimized and executed
+// once and the plan tree — estimated vs actual cardinalities per operator —
+// is returned as JSON (sparql.ExplainReport). Explain output depends on
+// live execution counters, so it bypasses the serving caches.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, query string, start time.Time) {
+	rep, err := s.Engine.ExplainContext(r.Context(), query)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.logf("explain canceled by client after %v", time.Since(start))
+			return
+		}
+		status := http.StatusBadRequest
+		if errors.Is(err, sparql.ErrTimeout) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		s.logf("explain error (%d) in %v: %v", status, time.Since(start), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Store-Version", strconv.FormatUint(rep.StoreVersion, 10))
+	if err := json.NewEncoder(w).Encode(rep); err != nil {
+		s.logf("explain write error: %v", err)
+		return
+	}
+	s.logf("explain ok: %d rows in %v", rep.Rows, time.Since(start))
 }
 
 // gzipPool recycles gzip writers across responses; serialization is part

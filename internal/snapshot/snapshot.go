@@ -7,7 +7,7 @@
 // re-interning, and duplicate checking, and is therefore several times
 // faster than loading the same data from N-Triples.
 //
-// # File format (version 1)
+// # File format (version 2; version 1 is still readable)
 //
 //	[8]byte  magic "RDFFSNAP"
 //	uint32   format version (little endian)
@@ -24,7 +24,17 @@
 //	             uvarint outer key count, then per outer key:
 //	               uvarint key, uvarint inner key count, then per inner key:
 //	                 uvarint key, uvarint list length, then that many ids
+//	           version >= 2 only — statistics section:
+//	             uvarint predicate count K, then K pairs in ascending
+//	             predicate id order:
+//	               uvarint predicate id, uvarint distinct subject count
 //	uint32   CRC-32 (IEEE, little endian) of every preceding byte
+//
+// The statistics section persists the one catalog number the query planner
+// needs that is not an O(1) read off the installed indexes — the distinct
+// subject count per predicate (see store's stats catalog) — so reopening a
+// snapshot skips the derivation pass over the SPO image. Version-1 files
+// lack the section; reading them derives the counters instead.
 //
 // All ids refer to the term table (1-based; 0 never appears). The trailing
 // checksum covers the header too, so a corrupted, truncated, or trailing-
@@ -59,8 +69,9 @@ import (
 // Magic identifies a snapshot file.
 const Magic = "RDFFSNAP"
 
-// Version is the current (and only) format version this package writes.
-const Version = 1
+// Version is the current format version this package writes. Version 1
+// (identical but without the per-graph statistics section) is still read.
+const Version = 2
 
 // ErrBadMagic reports that the input does not start with the snapshot magic.
 var ErrBadMagic = errors.New("snapshot: not a snapshot file (bad magic)")
@@ -111,6 +122,7 @@ func Write(w io.Writer, st *store.Store) error {
 		writeIndex(cw, spo)
 		writeIndex(cw, pos)
 		writeIndex(cw, osp)
+		writeStats(cw, g.DistinctSubjectsByPredicate())
 	}
 
 	// The trailer carries the checksum of everything before it, so it is
@@ -197,7 +209,15 @@ func decode(data []byte) (*store.Store, error) {
 				return nil, fmt.Errorf("snapshot: graph <%s> index %d: %w", uri, j, err)
 			}
 		}
-		if err := st.BulkGraphIndexed(uri, triples, indexes[0], indexes[1], indexes[2]); err != nil {
+		if version >= 2 {
+			predSubj, err := readStats(p, len(triples), maxID)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: graph <%s> stats: %w", uri, err)
+			}
+			if err := st.BulkGraphIndexedStats(uri, triples, indexes[0], indexes[1], indexes[2], predSubj); err != nil {
+				return nil, fmt.Errorf("snapshot: graph <%s>: %w", uri, err)
+			}
+		} else if err := st.BulkGraphIndexed(uri, triples, indexes[0], indexes[1], indexes[2]); err != nil {
 			return nil, fmt.Errorf("snapshot: graph <%s>: %w", uri, err)
 		}
 	}
@@ -348,6 +368,48 @@ func writeIndex(cw *crcWriter, m map[store.ID]map[store.ID][]store.ID) {
 			}
 		}
 	}
+}
+
+// writeStats serializes a graph's per-predicate distinct subject counters
+// in ascending predicate order (deterministic bytes, like the indexes).
+func writeStats(cw *crcWriter, predSubj map[store.ID]int) {
+	cw.uvarint(uint64(len(predSubj)))
+	for _, p := range sortedIDKeys(predSubj) {
+		cw.uvarint(uint64(p))
+		cw.uvarint(uint64(predSubj[p]))
+	}
+}
+
+// readStats deserializes the per-graph statistics section. Counts are only
+// range-checked here; cross-validation against the index images happens in
+// store.BulkGraphIndexedStats.
+func readStats(p *parser, tripleCount int, maxID uint64) (map[store.ID]int, error) {
+	count, err := p.uvarint()
+	if err != nil {
+		return nil, truncated(err)
+	}
+	if count > uint64(tripleCount) {
+		return nil, fmt.Errorf("stats section claims %d predicates for %d triples", count, tripleCount)
+	}
+	out := make(map[store.ID]int, count)
+	for i := uint64(0); i < count; i++ {
+		pred, err := p.id(maxID)
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.uvarint()
+		if err != nil {
+			return nil, truncated(err)
+		}
+		if _, dup := out[pred]; dup {
+			return nil, fmt.Errorf("stats section repeats predicate %d", pred)
+		}
+		if n < 1 || n > uint64(tripleCount) {
+			return nil, fmt.Errorf("stats section claims %d distinct subjects for predicate %d of a %d-triple graph", n, pred, tripleCount)
+		}
+		out[pred] = int(n)
+	}
+	return out, nil
 }
 
 func sortedIDKeys[V any](m map[store.ID]V) []store.ID {

@@ -1,0 +1,132 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/store"
+)
+
+func iriTerm(s string) rdf.Term { return rdf.NewIRI("http://stats/" + s) }
+
+// TestStatsSurviveReopen asserts that the statistics catalog of a reopened
+// snapshot equals the original's — the planner must see identical
+// cardinalities whether the store was built incrementally or reopened.
+func TestStatsSurviveReopen(t *testing.T) {
+	st := testStore(t)
+	re, err := Read(bytes.NewReader(snapshotBytes(t, st)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := st.Stats(), re.Stats()
+	if want.TotalTriples != got.TotalTriples {
+		t.Fatalf("TotalTriples: want %d, got %d", want.TotalTriples, got.TotalTriples)
+	}
+	for uri, wg := range want.Graphs {
+		gg := got.Graphs[uri]
+		if gg == nil {
+			t.Fatalf("graph <%s> missing from reopened stats", uri)
+		}
+		if !reflect.DeepEqual(wg, gg) {
+			t.Fatalf("graph <%s> stats differ:\nwant %+v\ngot  %+v", uri, *wg, *gg)
+		}
+	}
+}
+
+// TestVersion1StillReadable hand-rolls a minimal version-1 snapshot (no
+// statistics sections) and asserts the reader still accepts it, deriving
+// the catalog from the index images instead.
+func TestVersion1StillReadable(t *testing.T) {
+	var body bytes.Buffer
+	uv := func(v uint64) {
+		var buf [binary.MaxVarintLen64]byte
+		body.Write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	str := func(s string) {
+		uv(uint64(len(s)))
+		body.WriteString(s)
+	}
+
+	body.WriteString(Magic)
+	var ver [4]byte
+	binary.LittleEndian.PutUint32(ver[:], 1)
+	body.Write(ver[:])
+
+	// Term table: three IRIs (ids 1..3).
+	uv(3)
+	for _, v := range []string{"http://v1/s", "http://v1/p", "http://v1/o"} {
+		body.WriteByte(1) // IRI kind
+		str(v)
+	}
+
+	// One graph with one triple (1 2 3) and its three index images.
+	uv(1)
+	str("http://v1/g")
+	uv(1)
+	uv(1)
+	uv(2)
+	uv(3)
+	writeImage := func(a, b, c uint64) {
+		uv(1) // one outer key
+		uv(a) // outer
+		uv(1) // one inner key
+		uv(b) // inner
+		uv(1) // list length
+		uv(c) // entry
+	}
+	writeImage(1, 2, 3) // SPO
+	writeImage(2, 3, 1) // POS
+	writeImage(3, 1, 2) // OSP
+	// No stats section in version 1.
+
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(body.Bytes()))
+	body.Write(trailer[:])
+
+	st, err := Read(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("triples = %d, want 1", st.Len())
+	}
+	gs := st.Stats().Graphs["http://v1/g"]
+	if gs == nil {
+		t.Fatal("no stats for reopened v1 graph")
+	}
+	if got := gs.Predicates[2]; got != (store.PredicateStats{Triples: 1, DistinctSubjects: 1, DistinctObjects: 1}) {
+		t.Fatalf("derived v1 stats = %+v", got)
+	}
+}
+
+// TestCorruptStatsSectionRejected asserts that an inconsistent stats
+// section fails loudly (after a CRC re-stamp, so the corruption is
+// semantic, not bitrot).
+func TestCorruptStatsSectionRejected(t *testing.T) {
+	st := store.New()
+	s := st.Dict().Encode(iriTerm("s"))
+	p := st.Dict().Encode(iriTerm("p"))
+	o := st.Dict().Encode(iriTerm("o"))
+	if err := st.BulkGraph("http://g", []store.IDTriple{{S: s, P: p, O: o}}); err != nil {
+		t.Fatal(err)
+	}
+	data := snapshotBytes(t, st)
+	// The final varints of the body are the stats section: count=1,
+	// predicate id, distinct subjects=1. Flip the distinct-subject count to
+	// an out-of-range value and re-stamp the checksum.
+	body := data[:len(data)-4]
+	if body[len(body)-1] != 1 {
+		t.Fatalf("unexpected final stats byte %d", body[len(body)-1])
+	}
+	body[len(body)-1] = 9 // > triple count
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(body))
+	copy(data[len(data)-4:], trailer[:])
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("inconsistent stats section accepted")
+	}
+}

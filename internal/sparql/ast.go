@@ -130,6 +130,10 @@ type OrderKey struct {
 
 // Query is a parsed SELECT query (or subquery).
 type Query struct {
+	// Explain marks an "EXPLAIN SELECT ..." query: the engine answers with
+	// its optimized plan (estimated vs actual cardinalities) instead of the
+	// solutions. Only valid on top-level queries.
+	Explain  bool
 	Distinct bool
 	Star     bool
 	Items    []SelectItem

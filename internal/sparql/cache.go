@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"rdfframes/internal/qcache"
 )
@@ -110,7 +111,7 @@ type ServeInfo struct {
 // traffic; it is not synchronized with in-flight queries.
 func (e *Engine) EnableCache(planEntries int, resultRows int64) {
 	if planEntries > 0 {
-		e.plans = qcache.New[*Query](int64(planEntries), 16)
+		e.plans = qcache.New[*cachedPlan](int64(planEntries), 16)
 	}
 	if resultRows > 0 {
 		e.results = qcache.New[*cachedResult](resultRows, 4)
@@ -139,22 +140,50 @@ func (e *Engine) CacheStats() CacheStats {
 	return st
 }
 
-// parse returns the parsed form of src, through the plan cache when
-// enabled. Parsed queries are immutable after parse — evaluation never
-// writes into the AST — so one cached plan serves concurrent readers.
-func (e *Engine) parse(src string) (*Query, error) {
+// cachedPlan is one plan-cache entry: the immutable parsed query plus its
+// latest optimized plan. The plan pointer is atomic because concurrent
+// queries may race to re-optimize after a stats-epoch move; either winner
+// is a valid plan for the epoch, so last-write-wins is fine.
+type cachedPlan struct {
+	q    *Query
+	plan atomic.Pointer[queryPlan]
+}
+
+// planned resolves src to its parsed query and an optimized plan. Plans are
+// cached alongside the parse, keyed by the store's stats epoch: when the
+// data distribution shifts (bulk ingest, new graphs) the epoch moves and
+// the entry is re-optimized on next use, while steady-state serving reuses
+// the cached plan untouched. The returned plan is nil when the optimizer
+// is off (DisableOptimizer / DisableReorder).
+func (e *Engine) planned(src string) (*Query, *queryPlan, error) {
+	optimize := !e.DisableOptimizer && !e.DisableReorder
 	if e.plans == nil {
-		return Parse(src)
+		q, err := Parse(src)
+		if err != nil || !optimize || q.Explain {
+			// EXPLAIN queries build their own tracked plan in
+			// explainParsed; planning here would be double work.
+			return q, nil, err
+		}
+		return q, e.buildPlan(q, false), nil
 	}
-	if q, ok := e.plans.Get(src); ok {
-		return q, nil
+	entry, ok := e.plans.Get(src)
+	if !ok {
+		q, err := Parse(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		entry = &cachedPlan{q: q}
+		e.plans.Put(src, entry, 1)
 	}
-	q, err := Parse(src)
-	if err != nil {
-		return nil, err
+	if !optimize || entry.q.Explain {
+		return entry.q, nil, nil
 	}
-	e.plans.Put(src, q, 1)
-	return q, nil
+	qp := entry.plan.Load()
+	if qp == nil || qp.epoch != e.Store.StatsEpoch() {
+		qp = e.buildPlan(entry.q, false)
+		entry.plan.Store(qp)
+	}
+	return entry.q, qp, nil
 }
 
 // QueryServing is the serving-path entry point: Engine.Query plus the
@@ -233,22 +262,29 @@ func (e *Engine) QueryServingJSONContext(ctx context.Context, src string, maxRow
 func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit, offset int, info ServeInfo, err error) {
 	info = ServeInfo{StoreVersion: e.Store.Version()}
 	limit = -1
-	if e.results == nil {
-		q, err := e.parse(src)
+	q, qp, err := e.planned(src)
+	if err != nil {
+		return nil, 0, 0, info, err
+	}
+	if q.Explain {
+		// EXPLAIN output depends on live actual cardinalities; it bypasses
+		// the result cache and dies with the request.
+		rep, err := e.explainParsed(ctx, src, q)
 		if err != nil {
 			return nil, 0, 0, info, err
 		}
-		res, err := e.EvalContext(ctx, q)
+		return &cachedResult{version: info.StoreVersion, res: rep.Results()}, limit, 0, info, nil
+	}
+	if e.results == nil {
+		e.Store.RLock()
+		res, err := e.evalLocked(ctx, q, qp)
+		e.Store.RUnlock()
 		if err != nil {
 			return nil, 0, 0, info, err
 		}
 		return &cachedResult{version: info.StoreVersion, res: res}, limit, 0, info, nil
 	}
 	info.CacheEnabled = true
-	q, err := e.parse(src)
-	if err != nil {
-		return nil, 0, 0, info, err
-	}
 
 	// Normalize: strip the outer LIMIT/OFFSET so all pages share one key.
 	// The textual strip is verified against the parsed query; on any
@@ -273,10 +309,12 @@ func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit
 	// Miss: evaluate the normalized (unpaginated) query in one read
 	// transaction. The version is re-read under the lock — it may have
 	// moved since the lookup, and the entry must be keyed to the state the
-	// evaluation actually saw.
+	// evaluation actually saw. The plan carries over: LIMIT/OFFSET do not
+	// affect join order, and the normalized copy shares the original's
+	// group pointers the plan is keyed on.
 	e.Store.RLock()
 	version := e.Store.Version()
-	full, err := e.evalLocked(ctx, normalized)
+	full, err := e.evalLocked(ctx, normalized, qp)
 	e.Store.RUnlock()
 	if err != nil {
 		return nil, 0, 0, info, err

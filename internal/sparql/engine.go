@@ -30,17 +30,23 @@ type Engine struct {
 	// byte-identical at every setting (the determinism contract in
 	// parallel.go). Set before serving traffic; it is read per query.
 	Parallelism int
-	// DisableReorder turns off greedy join ordering, evaluating triple
-	// patterns in textual order (for ablation benchmarks).
+	// DisableOptimizer turns off the cost-based planner, falling back to
+	// the greedy probe-memoized join ordering (the pre-planner heuristic).
+	// Used by ablation benchmarks and the planner byte-identity tests.
+	DisableOptimizer bool
+	// DisableReorder turns off join ordering entirely, evaluating triple
+	// patterns in textual order (for ablation benchmarks). Implies
+	// DisableOptimizer.
 	DisableReorder bool
 	// DisablePushdown turns off early filter application during BGP
 	// evaluation (for ablation benchmarks).
 	DisablePushdown bool
 
-	// plans caches parsed queries by text; results caches full decoded
-	// result sets keyed by (store version, graphs, normalized text). Both
-	// are nil until EnableCache (see cache.go).
-	plans   *qcache.Cache[*Query]
+	// plans caches parsed queries by text together with their optimized
+	// plans (re-optimized whenever the store's stats epoch moves); results
+	// caches full decoded result sets keyed by (store version, graphs,
+	// normalized text). Both are nil until EnableCache (see cache.go).
+	plans   *qcache.Cache[*cachedPlan]
 	results *qcache.Cache[*cachedResult]
 }
 
@@ -72,13 +78,23 @@ func (e *Engine) Query(src string) (*Results, error) {
 
 // QueryContext is Query bounded by ctx: cancellation (or a ctx deadline)
 // stops the evaluation — including any morsel workers it fanned out —
-// within one tick window.
+// within one tick window. An EXPLAIN query returns its plan as a
+// one-variable result set (see Explain for the structured form).
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Results, error) {
-	q, err := e.parse(src)
+	q, qp, err := e.planned(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.EvalContext(ctx, q)
+	if q.Explain {
+		rep, err := e.explainParsed(ctx, src, q)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Results(), nil
+	}
+	e.Store.RLock()
+	defer e.Store.RUnlock()
+	return e.evalLocked(ctx, q, qp)
 }
 
 // Eval evaluates an already-parsed query inside one store read
@@ -91,19 +107,32 @@ func (e *Engine) Eval(q *Query) (*Results, error) {
 
 // EvalContext is Eval bounded by ctx; see QueryContext.
 func (e *Engine) EvalContext(ctx context.Context, q *Query) (*Results, error) {
+	qp := e.planFor(q) // before RLock: planning takes its own read locks
 	e.Store.RLock()
 	defer e.Store.RUnlock()
-	return e.evalLocked(ctx, q)
+	return e.evalLocked(ctx, q, qp)
 }
 
-// evalLocked evaluates q with the store read lock already held.
-func (e *Engine) evalLocked(ctx context.Context, q *Query) (*Results, error) {
+// planFor optimizes q unless the optimizer (or all reordering) is off.
+// Plans built here are untracked and uncached; the text-keyed serving path
+// (planned) adds the epoch-checked plan cache on top.
+func (e *Engine) planFor(q *Query) *queryPlan {
+	if e.DisableOptimizer || e.DisableReorder {
+		return nil
+	}
+	return e.buildPlan(q, false)
+}
+
+// evalLocked evaluates q under an already-optimized plan (nil runs the
+// greedy heuristic) with the store read lock already held.
+func (e *Engine) evalLocked(ctx context.Context, q *Query, qp *queryPlan) (*Results, error) {
 	ev := &evaluator{
 		store:           e.Store,
 		dict:            newEvalDict(e.Store.Dict()),
 		cache:           &regexCache{},
 		disableReorder:  e.DisableReorder,
 		disablePushdown: e.DisablePushdown,
+		qp:              qp,
 		workers:         e.parallelism(),
 	}
 	ev.tk.ctx = ctx

@@ -22,6 +22,11 @@ type evaluator struct {
 	cache           *regexCache
 	disableReorder  bool
 	disablePushdown bool
+	// qp is the cost-based plan for this query (nil falls back to the
+	// greedy probe-memoized ordering); seg counts BGP segments per group so
+	// execution lines up with the plan's static segment numbering.
+	qp  *queryPlan
+	seg map[*Group]int
 	// tk is the query goroutine's progress ticker: deadline plus context
 	// cancellation. Pool workers get their own tickers (see parallel.go).
 	tk ticker
@@ -57,7 +62,7 @@ func (ev *evaluator) rowCtx(rows *idRows) (*evalCtx, *idRowView) {
 // dictionary is quiescent once evaluation is done, so concurrent decoding
 // is race-free and trivially order-preserving.
 func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, error) {
-	sols, err := ev.evalQueryRows(q, defaultGraphs)
+	sols, err := ev.evalQueryRows(q, defaultGraphs, true)
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +97,16 @@ func (ev *evaluator) evalQuery(q *Query, defaultGraphs []string) (*Results, erro
 }
 
 // evalQueryRows evaluates a query and returns its projected solutions still
-// in id space (the representation subqueries join on).
-func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string) (*idRows, error) {
+// in id space (the representation subqueries join on). top marks the
+// outermost query: its solutions are canonicalized — sorted by term content
+// — before solution modifiers run, which makes the final row order a pure
+// function of the query and the data, independent of the join order the
+// planner (or the greedy heuristic) chose. That plan-invariance is what
+// lets CI byte-diff optimized against heuristic execution, and means a plan
+// change after a stats-epoch move can never reorder a client's paginated
+// sweep. Subquery solutions are left in execution order: the top-level
+// canonicalization erases any order difference they could introduce.
+func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string, top bool) (*idRows, error) {
 	graphs := defaultGraphs
 	if len(q.From) > 0 {
 		graphs = q.From
@@ -108,9 +121,23 @@ func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string) (*idRows, e
 		if q.Star {
 			return nil, fmt.Errorf("sparql: SELECT * cannot be combined with aggregation")
 		}
+		// Aggregation is order-sensitive in content, not just order: SUM/AVG
+		// accumulate floats in input order and SAMPLE takes the first group
+		// row. Sort the group input (at every nesting level) by exactly the
+		// aggregation-relevant columns — group keys plus every variable the
+		// aggregate/HAVING expressions read. Those columns are never pruned
+		// (they have uses outside any one BGP segment), so the key set is
+		// identical under every plan; rows tying on all of them contribute
+		// identically to every aggregate, so tie order is immaterial.
+		if err := ev.sortRowsBy(sols, aggregationVars(q)); err != nil {
+			return nil, err
+		}
 		sols, err = ev.aggregate(q, sols)
 		if err != nil {
 			return nil, err
+		}
+		if ev.qp != nil && ev.qp.track {
+			ev.qp.aggs[q].Record(sols.n)
 		}
 	default:
 		// Extend with computed projections (expr AS ?var).
@@ -130,6 +157,17 @@ func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string) (*idRows, e
 		}
 	}
 
+	if top || q.Limit >= 0 || q.Offset > 0 {
+		// Canonical order first; ORDER BY then stable-sorts on top, so even
+		// its ties resolve identically under every plan. Subqueries without
+		// LIMIT/OFFSET skip this — their order is erased by the top-level
+		// canonicalization — but a sliced subquery picks *which* rows
+		// survive by order, so it must canonicalize to keep the selected
+		// bag plan-invariant.
+		if err := ev.canonicalizeRows(sols, q.projectedVars()); err != nil {
+			return nil, err
+		}
+	}
 	if len(q.OrderBy) > 0 {
 		if err := ev.orderBy(sols, q.OrderBy); err != nil {
 			return nil, err
@@ -141,6 +179,9 @@ func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string) (*idRows, e
 		if err := ev.distinctRows(proj); err != nil {
 			return nil, err
 		}
+		if ev.qp != nil && ev.qp.track {
+			ev.qp.distincts[q].Record(proj.n)
+		}
 	}
 	// The same clamp serves the result cache's pagination-aware slicing:
 	// sharing it keeps cached page slices exactly equal to direct
@@ -148,6 +189,9 @@ func (ev *evaluator) evalQueryRows(q *Query, defaultGraphs []string) (*idRows, e
 	lo, hi := pageBounds(proj.n, q.Limit, q.Offset)
 	if lo != 0 || hi != proj.n {
 		proj.sliceRows(lo, hi)
+	}
+	if ev.qp != nil && ev.qp.track {
+		ev.qp.results[q].Record(proj.n)
 	}
 	return proj, nil
 }
@@ -269,6 +313,86 @@ func (ev *evaluator) aggregate(q *Query, sols *idRows) (*idRows, error) {
 	return out, nil
 }
 
+// canonicalizeRows sorts the batch by decoded term content across every
+// column. The key column sequence must itself be plan-invariant — the
+// batch's internal column order reflects pattern execution order — so the
+// projected variables lead (in the query-defined order) and any remaining
+// columns follow sorted by name. rdf.Compare is a total order on terms,
+// and the sequence covers every column, so equal-comparing rows are
+// identical and their relative order is immaterial. This is the canonical
+// order of unordered query results; see evalQueryRows.
+func (ev *evaluator) canonicalizeRows(sols *idRows, projected []string) error {
+	keyVars := make([]string, 0, sols.width()+len(projected))
+	keyVars = append(keyVars, projected...)
+	rest := append([]string(nil), sols.vars...)
+	sort.Strings(rest)
+	keyVars = append(keyVars, rest...)
+	return ev.sortRowsBy(sols, keyVars)
+}
+
+// sortRowsBy stably sorts the batch by decoded term content over the named
+// columns in order (duplicates and absent names are skipped). Callers must
+// pick a key set under which tied rows are interchangeable for everything
+// downstream; the stable sort then keeps ties deterministic per plan.
+func (ev *evaluator) sortRowsBy(sols *idRows, keyVars []string) error {
+	if sols.n <= 1 || sols.width() == 0 {
+		return nil
+	}
+	if err := ev.tick(); err != nil {
+		return err
+	}
+	keyCols := make([]int, 0, len(keyVars))
+	inKey := make([]bool, sols.width())
+	for _, v := range keyVars {
+		if c, ok := sols.col(v); ok && !inKey[c] {
+			keyCols = append(keyCols, c)
+			inKey[c] = true
+		}
+	}
+	if len(keyCols) == 0 {
+		return nil
+	}
+	w := sols.width()
+	perm := make([]int, sols.n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ra := sols.data[perm[a]*w : perm[a]*w+w]
+		rb := sols.data[perm[b]*w : perm[b]*w+w]
+		for _, j := range keyCols {
+			if ra[j] == rb[j] {
+				continue // same id, same term
+			}
+			if c := rdf.Compare(ev.dict.decode(ra[j]), ev.dict.decode(rb[j])); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	sols.permute(perm)
+	return nil
+}
+
+// aggregationVars lists the variables that determine a row's contribution
+// to the query's aggregation: the group keys plus everything the projected
+// aggregate expressions and HAVING conditions read.
+func aggregationVars(q *Query) []string {
+	var out []string
+	out = append(out, q.GroupBy...)
+	for _, it := range q.Items {
+		if it.Expr != nil {
+			out = append(out, exprVars(it.Expr)...)
+		} else {
+			out = append(out, it.Var)
+		}
+	}
+	for _, h := range q.Having {
+		out = append(out, exprVars(h)...)
+	}
+	return out
+}
+
 func (ev *evaluator) orderBy(sols *idRows, keys []OrderKey) error {
 	n := sols.n
 	nk := len(keys)
@@ -306,6 +430,13 @@ func (ev *evaluator) orderBy(sols *idRows, keys []OrderKey) error {
 	return nil
 }
 
+// groupFilter is one group-scoped FILTER with its plan reference (for
+// actual-cardinality recording on tracked plans).
+type groupFilter struct {
+	cond Expression
+	ref  filterRef
+}
+
 // evalGroup evaluates a group graph pattern. graphOverride, when non-empty,
 // scopes all patterns to that single graph (a GRAPH block).
 func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) (*idRows, error) {
@@ -318,10 +449,10 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 
 	// FILTER scope is the whole group regardless of textual position;
 	// collecting filters up front lets BGP evaluation push them down.
-	var filters []Expression
+	var filters []groupFilter
 	for _, el := range g.Elems {
 		if f, ok := el.(FilterElem); ok {
-			filters = append(filters, f.Cond)
+			filters = append(filters, groupFilter{cond: f.Cond, ref: filterRef{g, len(filters)}})
 		}
 	}
 
@@ -329,13 +460,21 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 		if len(pending) == 0 {
 			return nil
 		}
+		var bp *bgpPlan
+		if ev.qp != nil {
+			if ev.seg == nil {
+				ev.seg = make(map[*Group]int)
+			}
+			bp = ev.qp.bgps[bgpRef{g, ev.seg[g]}]
+			ev.seg[g]++
+		}
 		var err error
-		current, err = ev.evalBGP(current, pending, active, &filters)
+		current, err = ev.evalBGP(current, pending, active, &filters, bp)
 		pending = nil
 		return err
 	}
 
-	for _, el := range g.Elems {
+	for idx, el := range g.Elems {
 		switch e := el.(type) {
 		case BGPElem:
 			pending = append(pending, e.Pattern)
@@ -366,6 +505,7 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
+			ev.qp.recordElem(g, idx, current.n)
 		case UnionElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -383,6 +523,7 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 				return nil, err
 			}
 			current = joined
+			ev.qp.recordElem(g, idx, current.n)
 		case GraphElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -395,6 +536,7 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
+			ev.qp.recordElem(g, idx, current.n)
 		case GroupElem:
 			if err := flush(); err != nil {
 				return nil, err
@@ -407,11 +549,12 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
+			ev.qp.recordElem(g, idx, current.n)
 		case SubQueryElem:
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			sub, err := ev.evalQueryRows(e.Query, graphs)
+			sub, err := ev.evalQueryRows(e.Query, graphs, false)
 			if err != nil {
 				return nil, err
 			}
@@ -419,6 +562,7 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 			if err != nil {
 				return nil, err
 			}
+			ev.qp.recordElem(g, idx, current.n)
 		default:
 			return nil, fmt.Errorf("sparql: unknown group element %T", el)
 		}
@@ -426,43 +570,54 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	// FILTER scope is the whole group.
-	if len(filters) > 0 {
-		w := current.width()
-		ctx, view := ev.rowCtx(current)
-		keep := 0
-		for i := 0; i < current.n; i++ {
-			if err := ev.tick(); err != nil {
-				return nil, err
-			}
-			view.idx = i
-			ok := true
-			for _, f := range filters {
-				if !evalBool(f, ctx) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				if keep != i {
-					copy(current.data[keep*w:(keep+1)*w], current.data[i*w:(i+1)*w])
-				}
-				keep++
-			}
+	// FILTER scope is the whole group: filters not consumed by pushdown run
+	// here, one compaction pass each (conjunctive, so per-filter application
+	// keeps exactly the rows the combined pass would).
+	for _, f := range filters {
+		if err := ev.applyFilter(current, f); err != nil {
+			return nil, err
 		}
-		current.n = keep
-		current.data = current.data[:keep*w]
 	}
 	return current, nil
 }
 
-// evalBGP joins the current solutions with a basic graph pattern, choosing
-// a greedy pattern order by estimated cardinality. Filters from the
-// enclosing group are pushed down: as soon as every variable of a filter is
-// bound, it is applied (and removed from the group's filter list), pruning
-// intermediate results early. This is sound because group filters are
-// conjunctive and rows never regain bindings they were rejected on.
-func (ev *evaluator) evalBGP(current *idRows, patterns []TriplePattern, graphs []string, filters *[]Expression) (*idRows, error) {
+// applyFilter compacts current in place to the rows satisfying f, recording
+// the surviving row count on tracked plans.
+func (ev *evaluator) applyFilter(current *idRows, f groupFilter) error {
+	w := current.width()
+	ctx, view := ev.rowCtx(current)
+	keep := 0
+	for i := 0; i < current.n; i++ {
+		if err := ev.tick(); err != nil {
+			return err
+		}
+		view.idx = i
+		if evalBool(f.cond, ctx) {
+			if keep != i {
+				copy(current.data[keep*w:(keep+1)*w], current.data[i*w:(i+1)*w])
+			}
+			keep++
+		}
+	}
+	current.n = keep
+	current.data = current.data[:keep*w]
+	if ev.qp != nil {
+		ev.qp.recordFilter(f.ref, keep)
+	}
+	return nil
+}
+
+// evalBGP joins the current solutions with a basic graph pattern. With a
+// cost-based segment plan (bp) the patterns run in the planner's order and
+// dead columns are pruned on the planned schedule; otherwise the greedy
+// probe-estimated order is chosen here (the pre-planner heuristic, kept as
+// the DisableOptimizer fallback and ablation baseline). Filters from the
+// enclosing group are pushed down either way: as soon as every variable of
+// a filter is bound, it is applied (and removed from the group's filter
+// list), pruning intermediate results early. This is sound because group
+// filters are conjunctive and rows never regain bindings they were
+// rejected on.
+func (ev *evaluator) evalBGP(current *idRows, patterns []TriplePattern, graphs []string, filters *[]groupFilter, bp *bgpPlan) (*idRows, error) {
 	if current.n == 0 {
 		return current, nil
 	}
@@ -473,14 +628,22 @@ func (ev *evaluator) evalBGP(current *idRows, patterns []TriplePattern, graphs [
 		}
 	}
 	ordered := patterns
-	if !ev.disableReorder {
+	if bp != nil && len(bp.order) == len(patterns) {
+		ordered = make([]TriplePattern, len(patterns))
+		for step, pi := range bp.order {
+			ordered[step] = patterns[pi]
+		}
+	} else if !ev.disableReorder {
 		ordered = ev.orderPatterns(patterns, bound, graphs)
 	}
 	var err error
-	for _, pat := range ordered {
+	for step, pat := range ordered {
 		current, err = ev.extend(current, pat, graphs)
 		if err != nil {
 			return nil, err
+		}
+		if bp != nil && ev.qp.track {
+			bp.nodes[step].Record(current.n)
 		}
 		for _, v := range pat.Vars() {
 			bound[v] = true
@@ -491,6 +654,9 @@ func (ev *evaluator) evalBGP(current *idRows, patterns []TriplePattern, graphs [
 				return nil, err
 			}
 		}
+		if bp != nil && len(bp.drop[step]) > 0 {
+			current = current.dropCols(bp.drop[step])
+		}
 		if current.n == 0 {
 			return current, nil
 		}
@@ -500,13 +666,11 @@ func (ev *evaluator) evalBGP(current *idRows, patterns []TriplePattern, graphs [
 
 // applyReadyFilters applies and removes every filter whose variables are
 // all bound, compacting the batch in place.
-func (ev *evaluator) applyReadyFilters(current *idRows, bound map[string]bool, filters *[]Expression) (*idRows, error) {
+func (ev *evaluator) applyReadyFilters(current *idRows, bound map[string]bool, filters *[]groupFilter) (*idRows, error) {
 	remaining := (*filters)[:0]
-	w := current.width()
-	ctx, view := ev.rowCtx(current)
 	for _, f := range *filters {
 		ready := true
-		for _, v := range exprVars(f) {
+		for _, v := range exprVars(f.cond) {
 			if !bound[v] {
 				ready = false
 				break
@@ -516,21 +680,9 @@ func (ev *evaluator) applyReadyFilters(current *idRows, bound map[string]bool, f
 			remaining = append(remaining, f)
 			continue
 		}
-		keep := 0
-		for i := 0; i < current.n; i++ {
-			if err := ev.tick(); err != nil {
-				return nil, err
-			}
-			view.idx = i
-			if evalBool(f, ctx) {
-				if keep != i {
-					copy(current.data[keep*w:(keep+1)*w], current.data[i*w:(i+1)*w])
-				}
-				keep++
-			}
+		if err := ev.applyFilter(current, f); err != nil {
+			return nil, err
 		}
-		current.n = keep
-		current.data = current.data[:keep*w]
 	}
 	*filters = remaining
 	return current, nil

@@ -189,6 +189,29 @@ func (r *idRows) project(vars []string) *idRows {
 	return out
 }
 
+// dropCols returns the batch without the named columns, keeping every row
+// in order (no deduplication — bag semantics are preserved exactly). The
+// planner schedules this for variables nothing downstream can read.
+func (r *idRows) dropCols(names []string) *idRows {
+	keep := make([]string, 0, len(r.vars))
+	for _, v := range r.vars {
+		dropped := false
+		for _, d := range names {
+			if v == d {
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			keep = append(keep, v)
+		}
+	}
+	if len(keep) == len(r.vars) {
+		return r
+	}
+	return r.project(keep)
+}
+
 // distinct removes duplicate rows in place, keeping first occurrences in
 // order. Rows are compared by id, which is exact term equality.
 func (r *idRows) distinct() {

@@ -72,6 +72,7 @@ func (p *parser) expectPunct(s string) error {
 }
 
 func (p *parser) parseQuery() (*Query, error) {
+	explain := p.keyword("EXPLAIN")
 	for p.keyword("PREFIX") {
 		t := p.next()
 		if t.kind != tokPName || !strings.HasSuffix(t.text, ":") {
@@ -84,7 +85,12 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		p.prefixes.Bind(prefix, iri.text)
 	}
-	return p.parseSelect()
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	q.Explain = explain
+	return q, nil
 }
 
 func (p *parser) parseSelect() (*Query, error) {

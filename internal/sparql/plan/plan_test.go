@@ -1,0 +1,129 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+// pat builds a test pattern: base cardinality plus per-position vars with a
+// uniform selectivity.
+func pat(card float64, s, o string, sel float64) Pattern {
+	return Pattern{
+		Card: card,
+		Vars: [3]string{s, "", o},
+		Sel:  [3]float64{sel, 1, sel},
+	}
+}
+
+func TestOrderSelectiveFirst(t *testing.T) {
+	// A chain ?a -> ?b -> ?c where the middle pattern is tiny: the DP must
+	// start from the selective pattern and expand outward, not run the
+	// textual order.
+	pats := []Pattern{
+		pat(10000, "a", "b", 0.001),
+		pat(10, "b", "c", 0.01),
+		pat(5000, "c", "d", 0.001),
+	}
+	perm, est := Order(pats, nil)
+	if perm[0] != 1 {
+		t.Fatalf("perm = %v, want the 10-row pattern first", perm)
+	}
+	if len(est) != 3 {
+		t.Fatalf("est = %v", est)
+	}
+	for i := 1; i < len(est); i++ {
+		if est[i] <= 0 {
+			t.Fatalf("est[%d] = %f, want positive", i, est[i])
+		}
+	}
+}
+
+func TestOrderAvoidsCrossProduct(t *testing.T) {
+	// Two connected patterns and one disconnected pattern: the disconnected
+	// one must run last even though it is smaller than the first join step.
+	pats := []Pattern{
+		pat(1000, "a", "b", 0.01),
+		pat(900, "b", "c", 0.01),
+		pat(50, "x", "y", 0.1), // shares nothing
+	}
+	perm, _ := Order(pats, nil)
+	if perm[len(perm)-1] != 2 {
+		t.Fatalf("perm = %v, want the disconnected pattern last", perm)
+	}
+}
+
+func TestOrderUsesPreboundVars(t *testing.T) {
+	// With ?b already bound by an earlier segment, the pattern reading ?b
+	// becomes cheap and should run first.
+	pats := []Pattern{
+		pat(5000, "a", "z", 0.001),
+		pat(8000, "b", "a", 0.0001),
+	}
+	perm, _ := Order(pats, map[string]bool{"b": true})
+	if perm[0] != 1 {
+		t.Fatalf("perm = %v, want the pre-bound pattern first", perm)
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	pats := []Pattern{
+		pat(100, "a", "b", 0.1),
+		pat(100, "b", "c", 0.1),
+		pat(100, "c", "a", 0.1),
+	}
+	perm1, est1 := Order(pats, nil)
+	perm2, est2 := Order(pats, nil)
+	if !reflect.DeepEqual(perm1, perm2) || !reflect.DeepEqual(est1, est2) {
+		t.Fatalf("non-deterministic order: %v/%v vs %v/%v", perm1, est1, perm2, est2)
+	}
+}
+
+func TestOrderGreedyAboveDPMax(t *testing.T) {
+	// DPMax+2 chained patterns with one tiny anchor: greedy must still pick
+	// the anchor first and return a full permutation.
+	n := DPMax + 2
+	pats := make([]Pattern, n)
+	for i := range pats {
+		pats[i] = pat(1000, v(i), v(i+1), 0.01)
+	}
+	pats[n/2].Card = 1
+	perm, est := Order(pats, nil)
+	if len(perm) != n || len(est) != n {
+		t.Fatalf("perm/est lengths = %d/%d, want %d", len(perm), len(est), n)
+	}
+	if perm[0] != n/2 {
+		t.Fatalf("perm = %v, want the 1-row anchor first", perm)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatalf("perm %v repeats %d", perm, p)
+		}
+		seen[p] = true
+	}
+}
+
+func v(i int) string { return string(rune('a' + i)) }
+
+func TestOrderEdgeCases(t *testing.T) {
+	if perm, est := Order(nil, nil); perm != nil || est != nil {
+		t.Fatal("empty input should return nil")
+	}
+	perm, est := Order([]Pattern{pat(42, "a", "b", 0.5)}, nil)
+	if !reflect.DeepEqual(perm, []int{0}) || est[0] != 42 {
+		t.Fatalf("single pattern: perm=%v est=%v", perm, est)
+	}
+}
+
+func TestNodeFormat(t *testing.T) {
+	root := NewNode("select", "?x")
+	scan := NewNode("scan", "?x <p> ?y")
+	scan.Est = 12.5
+	scan.Record(7)
+	root.Add(NewNode("group", "").Add(scan))
+	got := root.Format()
+	want := "select ?x\n  group\n    scan ?x <p> ?y  (est=12.5, actual=7)\n"
+	if got != want {
+		t.Fatalf("Format:\n%q\nwant\n%q", got, want)
+	}
+}

@@ -1,0 +1,542 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rdfframes/internal/sparql/plan"
+	"rdfframes/internal/store"
+)
+
+// This file is the bridge between the parsed query and the plan package:
+// it walks the query exactly the way the evaluator will (the same group /
+// BGP-segment structure), resolves every triple pattern against the store's
+// statistics catalog into a plan.Pattern, and records the chosen join
+// orders, filter placements, and column-prune schedules in a queryPlan the
+// evaluator executes. The old greedy probe-memoized ordering survives as
+// the fallback path (Engine.DisableOptimizer) and as the ablation baseline.
+
+// bgpRef identifies one BGP segment: the seg-th maximal run of triple
+// patterns within a group's element list.
+type bgpRef struct {
+	g   *Group
+	seg int
+}
+
+// filterRef identifies the idx-th FILTER of a group, in syntactic order.
+type filterRef struct {
+	g   *Group
+	idx int
+}
+
+// elemRef identifies the idx-th element of a group (for join-node actuals).
+type elemRef struct {
+	g   *Group
+	idx int
+}
+
+// bgpPlan is the planned execution of one BGP segment.
+type bgpPlan struct {
+	// order is the pattern execution order (indexes into the segment's
+	// syntactic pattern list).
+	order []int
+	// est[i] is the estimated cumulative cardinality after executing step i.
+	est []float64
+	// drop[i] lists columns to prune after step i: variables whose every
+	// occurrence in the whole query lies within this segment's patterns, so
+	// no later operator can read them.
+	drop [][]string
+	// nodes[i] is step i's plan-tree node (actuals recorded when tracking).
+	nodes []*plan.Node
+}
+
+// queryPlan is one optimized query: the plan tree plus the per-segment
+// orders the evaluator executes. Plans are immutable once built — cached
+// plans are shared across concurrent queries — except for the Actual
+// counters in the tree, which are recorded only when track is set (tracked
+// plans are built fresh per EXPLAIN call and never shared).
+type queryPlan struct {
+	// epoch is the stats epoch the plan was optimized against; the plan
+	// cache re-optimizes when the store's epoch moves (see Engine.planned).
+	epoch uint64
+	track bool
+	root  *plan.Node
+	bgps  map[bgpRef]*bgpPlan
+	elems map[elemRef]*plan.Node
+	// filters maps each group filter to its plan node; the evaluator
+	// records the row count surviving each application.
+	filters map[filterRef]*plan.Node
+	// results maps each (sub)query to its final node (rows after
+	// modifiers), aggs/distincts to the respective operator nodes.
+	results   map[*Query]*plan.Node
+	aggs      map[*Query]*plan.Node
+	distincts map[*Query]*plan.Node
+}
+
+// recordElem notes the row count after a group element's join (tracked
+// plans only).
+func (qp *queryPlan) recordElem(g *Group, idx, rows int) {
+	if qp != nil && qp.track {
+		qp.elems[elemRef{g, idx}].Record(rows)
+	}
+}
+
+// recordFilter notes the row count surviving one filter application.
+func (qp *queryPlan) recordFilter(ref filterRef, rows int) {
+	if qp != nil && qp.track {
+		qp.filters[ref].Record(rows)
+	}
+}
+
+// planner builds a queryPlan. The store is probed only for O(1) index
+// cardinalities (constant-bound patterns); everything else comes from the
+// immutable stats snapshot.
+type planner struct {
+	st    *store.Store
+	stats *store.Stats
+	dict  *store.Dictionary
+	qp    *queryPlan
+	// uses counts every syntactic occurrence of each variable across the
+	// whole query (patterns, filters, expressions, projections); the prune
+	// schedule drops a column once all its occurrences are behind it.
+	uses map[string]int
+}
+
+// buildPlan optimizes q against the current statistics catalog. track
+// enables actual-cardinality recording (EXPLAIN); tracked plans must not be
+// shared across evaluations.
+func (e *Engine) buildPlan(q *Query, track bool) *queryPlan {
+	stats := e.Store.Stats() // before RLock: Stats may itself lock
+	p := &planner{
+		st:    e.Store,
+		stats: stats,
+		dict:  e.Store.Dict(),
+		qp: &queryPlan{
+			epoch:     stats.Epoch,
+			track:     track,
+			bgps:      map[bgpRef]*bgpPlan{},
+			elems:     map[elemRef]*plan.Node{},
+			filters:   map[filterRef]*plan.Node{},
+			results:   map[*Query]*plan.Node{},
+			aggs:      map[*Query]*plan.Node{},
+			distincts: map[*Query]*plan.Node{},
+		},
+		uses: map[string]int{},
+	}
+	countQueryUses(q, p.uses)
+	// The pattern-cardinality probes read index map lengths; hold the read
+	// lock so they cannot race a concurrent writer.
+	e.Store.RLock()
+	p.qp.root = p.planQuery(q, e.DefaultGraphs)
+	e.Store.RUnlock()
+	return p.qp
+}
+
+// planQuery mirrors evaluator.evalQueryRows.
+func (p *planner) planQuery(q *Query, graphs []string) *plan.Node {
+	if len(q.From) > 0 {
+		graphs = q.From
+	}
+	detail := "*"
+	if !q.Star {
+		vars := q.projectedVars()
+		quoted := make([]string, len(vars))
+		for i, v := range vars {
+			quoted[i] = "?" + v
+		}
+		detail = strings.Join(quoted, " ")
+	}
+	node := plan.NewNode("select", detail)
+	p.qp.results[q] = node
+	node.Add(p.planGroup(q.Where, graphs, ""))
+	if q.HasAggregates() {
+		agg := plan.NewNode("aggregate", aggDetail(q))
+		p.qp.aggs[q] = agg
+		node.Add(agg)
+	}
+	if len(q.OrderBy) > 0 {
+		node.Add(plan.NewNode("order", fmt.Sprintf("%d keys", len(q.OrderBy))))
+	}
+	if q.Distinct {
+		d := plan.NewNode("distinct", "")
+		p.qp.distincts[q] = d
+		node.Add(d)
+	}
+	if q.Limit >= 0 || q.Offset > 0 {
+		node.Add(plan.NewNode("slice", sliceDetail(q)))
+	}
+	return node
+}
+
+func aggDetail(q *Query) string {
+	if len(q.GroupBy) == 0 {
+		return "implicit group"
+	}
+	quoted := make([]string, len(q.GroupBy))
+	for i, v := range q.GroupBy {
+		quoted[i] = "?" + v
+	}
+	return "group by " + strings.Join(quoted, " ")
+}
+
+func sliceDetail(q *Query) string {
+	var parts []string
+	if q.Limit >= 0 {
+		parts = append(parts, "limit "+strconv.Itoa(q.Limit))
+	}
+	if q.Offset > 0 {
+		parts = append(parts, "offset "+strconv.Itoa(q.Offset))
+	}
+	return strings.Join(parts, " ")
+}
+
+// groupFilterPlan tracks one group filter through static placement.
+type groupFilterPlan struct {
+	cond   Expression
+	ref    filterRef
+	vars   []string
+	placed bool
+}
+
+// planGroup mirrors evaluator.evalGroup: groups always evaluate from the
+// unit solution, so the bound-variable set starts empty and accumulates
+// across the group's own elements.
+func (p *planner) planGroup(g *Group, graphs []string, override string) *plan.Node {
+	active := graphs
+	if override != "" {
+		active = []string{override}
+	}
+	node := plan.NewNode("group", "")
+	bound := map[string]bool{}
+
+	var filters []groupFilterPlan
+	for _, el := range g.Elems {
+		if f, ok := el.(FilterElem); ok {
+			filters = append(filters, groupFilterPlan{
+				cond: f.Cond,
+				ref:  filterRef{g, len(filters)},
+				vars: exprVars(f.Cond),
+			})
+		}
+	}
+
+	seg := 0
+	var pending []TriplePattern
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		node.Add(p.planBGP(g, seg, pending, active, bound, filters)...)
+		seg++
+		pending = nil
+	}
+	for idx, el := range g.Elems {
+		switch e := el.(type) {
+		case BGPElem:
+			pending = append(pending, e.Pattern)
+		case FilterElem:
+			// Placed during BGP planning or left residual below.
+		case BindElem:
+			flush()
+			node.Add(plan.NewNode("bind", "?"+e.Var))
+			bound[e.Var] = true
+		case OptionalElem:
+			flush()
+			jn := plan.NewNode("leftjoin", "optional").Add(p.planGroup(e.Group, graphs, override))
+			p.qp.elems[elemRef{g, idx}] = jn
+			node.Add(jn)
+			for _, v := range e.Group.scopeVars() {
+				bound[v] = true
+			}
+		case UnionElem:
+			flush()
+			jn := plan.NewNode("join", "union")
+			for _, b := range e.Branches {
+				jn.Add(p.planGroup(b, graphs, override))
+				for _, v := range b.scopeVars() {
+					bound[v] = true
+				}
+			}
+			p.qp.elems[elemRef{g, idx}] = jn
+			node.Add(jn)
+		case GraphElem:
+			flush()
+			jn := plan.NewNode("join", "graph <"+e.Graph+">").Add(p.planGroup(e.Group, graphs, e.Graph))
+			p.qp.elems[elemRef{g, idx}] = jn
+			node.Add(jn)
+			for _, v := range e.Group.scopeVars() {
+				bound[v] = true
+			}
+		case GroupElem:
+			flush()
+			jn := plan.NewNode("join", "group").Add(p.planGroup(e.Group, graphs, override))
+			p.qp.elems[elemRef{g, idx}] = jn
+			node.Add(jn)
+			for _, v := range e.Group.scopeVars() {
+				bound[v] = true
+			}
+		case SubQueryElem:
+			flush()
+			// Subqueries evaluate against the group's graphs, not a GRAPH
+			// override (mirroring evalGroup).
+			jn := plan.NewNode("join", "subquery").Add(p.planQuery(e.Query, graphs))
+			p.qp.elems[elemRef{g, idx}] = jn
+			node.Add(jn)
+			for _, v := range e.Query.projectedVars() {
+				bound[v] = true
+			}
+		}
+	}
+	flush()
+	for i := range filters {
+		if !filters[i].placed {
+			node.Add(p.filterNode(filters[i].ref, filters[i].cond, "residual"))
+		}
+	}
+	return node
+}
+
+// filterNode builds and registers the plan node of one group filter.
+func (p *planner) filterNode(ref filterRef, cond Expression, placement string) *plan.Node {
+	n := plan.NewNode("filter", exprText(cond))
+	if placement != "" {
+		n.Detail += " [" + placement + "]"
+	}
+	p.qp.filters[ref] = n
+	return n
+}
+
+// planBGP orders one BGP segment and computes its filter placements and
+// prune schedule. bound is the group's progressively-bound variable set; it
+// is updated with the segment's variables.
+func (p *planner) planBGP(g *Group, seg int, patterns []TriplePattern, active []string, bound map[string]bool, filters []groupFilterPlan) []*plan.Node {
+	pats := make([]plan.Pattern, len(patterns))
+	for i := range patterns {
+		pats[i] = p.planPattern(patterns[i], active)
+	}
+	order, est := plan.Order(pats, bound)
+	bp := &bgpPlan{order: order, est: est, drop: make([][]string, len(order))}
+
+	// Prune schedule: a variable whose every use in the whole query lies
+	// within this segment's patterns is dead once its last planned pattern
+	// has executed.
+	segOcc := map[string]int{}
+	for _, pat := range patterns {
+		for _, v := range pat.Vars() {
+			segOcc[v]++
+		}
+	}
+	lastStep := map[string]int{}
+	for step, pi := range order {
+		for _, v := range patterns[pi].Vars() {
+			lastStep[v] = step
+		}
+	}
+	for v, occ := range segOcc {
+		if p.uses[v] == occ {
+			s := lastStep[v]
+			bp.drop[s] = append(bp.drop[s], v)
+		}
+	}
+	for _, d := range bp.drop {
+		sort.Strings(d)
+	}
+
+	nodes := make([]*plan.Node, len(order))
+	for step, pi := range order {
+		n := plan.NewNode("scan", pats[pi].Label)
+		n.Est = est[step]
+		for _, v := range patterns[pi].Vars() {
+			bound[v] = true
+		}
+		// Static filter placement (annotation only; the evaluator applies
+		// filters by the same all-variables-bound rule at run time).
+		for fi := range filters {
+			if filters[fi].placed {
+				continue
+			}
+			ready := true
+			for _, v := range filters[fi].vars {
+				if !bound[v] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				n.Add(p.filterNode(filters[fi].ref, filters[fi].cond, "pushed down"))
+				filters[fi].placed = true
+			}
+		}
+		if len(bp.drop[step]) > 0 {
+			quoted := make([]string, len(bp.drop[step]))
+			for i, v := range bp.drop[step] {
+				quoted[i] = "?" + v
+			}
+			n.Add(plan.NewNode("prune", strings.Join(quoted, " ")))
+		}
+		nodes[step] = n
+	}
+	bp.nodes = nodes
+	p.qp.bgps[bgpRef{g, seg}] = bp
+	return nodes
+}
+
+// planPattern resolves one triple pattern against the statistics catalog:
+// base cardinality (exact O(1) index probes when subject or object is a
+// constant, per-predicate catalog counts otherwise) and the per-position
+// selectivity applied when that position's variable arrives already bound.
+func (p *planner) planPattern(pat TriplePattern, graphs []string) plan.Pattern {
+	out := plan.Pattern{Label: pat.String(), Sel: [3]float64{1, 1, 1}}
+	nodes := [3]Node{pat.S, pat.P, pat.O}
+	var ids [3]store.ID
+	known := true
+	nConst := 0
+	for k, n := range nodes {
+		if n.IsVar {
+			out.Vars[k] = n.Var
+			continue
+		}
+		nConst++
+		id, ok := p.dict.Lookup(n.Term)
+		if !ok {
+			known = false
+		}
+		ids[k] = id
+	}
+	if !known {
+		// A constant term absent from the dictionary matches nothing.
+		return out
+	}
+	switch {
+	case nConst == 0:
+		t, _, _, _ := p.stats.Totals(graphs)
+		out.Card = float64(t)
+	case nConst == 1 && !nodes[1].IsVar:
+		// Predicate-only: the expensive probe the catalog exists to avoid.
+		out.Card = float64(p.stats.Predicate(graphs, ids[1]).Triples)
+	default:
+		// At least one subject/object constant: the index answers in O(1)
+		// (or a cheap inner-map sweep for s-only / o-only shapes).
+		out.Card = float64(p.st.Cardinality(graphs, store.IDTriple{S: ids[0], P: ids[1], O: ids[2]}))
+	}
+	if !nodes[1].IsVar {
+		ps := p.stats.Predicate(graphs, ids[1])
+		out.Sel[0] = 1 / max(float64(ps.DistinctSubjects), 1)
+		out.Sel[2] = 1 / max(float64(ps.DistinctObjects), 1)
+	} else {
+		_, ds, do, np := p.stats.Totals(graphs)
+		out.Sel[0] = 1 / max(float64(ds), 1)
+		out.Sel[1] = 1 / max(float64(np), 1)
+		out.Sel[2] = 1 / max(float64(do), 1)
+	}
+	return out
+}
+
+// countQueryUses counts every syntactic occurrence of each variable in the
+// query: triple-pattern positions, filter and projection expressions, BIND
+// targets, grouping and ordering keys, and everything inside subqueries.
+// Conservative by construction — an occurrence anywhere (even in an
+// unrelated scope) keeps the variable alive for pruning purposes.
+func countQueryUses(q *Query, uses map[string]int) {
+	if q.Star && q.Where != nil {
+		for _, v := range q.Where.scopeVars() {
+			uses[v]++
+		}
+	}
+	for _, it := range q.Items {
+		uses[it.Var]++
+		if it.Expr != nil {
+			countExprUses(it.Expr, uses)
+		}
+	}
+	for _, v := range q.GroupBy {
+		uses[v]++
+	}
+	for _, h := range q.Having {
+		countExprUses(h, uses)
+	}
+	for _, k := range q.OrderBy {
+		countExprUses(k.Expr, uses)
+	}
+	if q.Where != nil {
+		countGroupUses(q.Where, uses)
+	}
+}
+
+func countGroupUses(g *Group, uses map[string]int) {
+	for _, el := range g.Elems {
+		switch e := el.(type) {
+		case BGPElem:
+			for _, v := range e.Pattern.Vars() {
+				uses[v]++
+			}
+		case FilterElem:
+			countExprUses(e.Cond, uses)
+		case BindElem:
+			uses[e.Var]++
+			countExprUses(e.Expr, uses)
+		case OptionalElem:
+			countGroupUses(e.Group, uses)
+		case UnionElem:
+			for _, b := range e.Branches {
+				countGroupUses(b, uses)
+			}
+		case GraphElem:
+			countGroupUses(e.Group, uses)
+		case GroupElem:
+			countGroupUses(e.Group, uses)
+		case SubQueryElem:
+			countQueryUses(e.Query, uses)
+		}
+	}
+}
+
+func countExprUses(e Expression, uses map[string]int) {
+	for _, v := range exprVars(e) {
+		uses[v]++
+	}
+}
+
+// exprText renders an expression compactly for plan trees (best effort; not
+// guaranteed to re-parse).
+func exprText(e Expression) string {
+	switch x := e.(type) {
+	case ExVar:
+		return "?" + x.Name
+	case ExTerm:
+		return x.Term.String()
+	case ExBinary:
+		return exprText(x.L) + " " + x.Op + " " + exprText(x.R)
+	case ExUnary:
+		return x.Op + "(" + exprText(x.E) + ")"
+	case ExCall:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprText(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case ExIn:
+		items := make([]string, len(x.List))
+		for i, a := range x.List {
+			items[i] = exprText(a)
+		}
+		op := "IN"
+		if x.Neg {
+			op = "NOT IN"
+		}
+		return exprText(x.E) + " " + op + " (" + strings.Join(items, ", ") + ")"
+	case ExAgg:
+		arg := "*"
+		if x.Arg != nil {
+			arg = exprText(x.Arg)
+		}
+		if x.Distinct {
+			arg = "DISTINCT " + arg
+		}
+		return x.Fn + "(" + arg + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

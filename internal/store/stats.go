@@ -1,0 +1,176 @@
+package store
+
+import "sync/atomic"
+
+// This file implements the statistics catalog behind the cost-based query
+// planner: per-predicate triple counts and distinct subject/object counts,
+// per-graph totals, and a coarse "stats epoch" that advances only when the
+// data distribution shifts enough to make replanning worthwhile.
+//
+// Almost everything the catalog reports is an O(1) read off the indexes the
+// store already maintains: len(pos[p]) is the distinct object count of
+// predicate p, len(byPred[p]) its triple count, len(spo)/len(osp) the
+// graph's distinct subject/object totals. The one number that is not
+// directly an index length — distinct subjects per predicate — is kept as a
+// counter map updated on every insert (the first triple of an (s, p) group
+// increments it) and derived in one pass from the SPO image on bulk
+// installs, or installed directly from a version-2 snapshot's stats section.
+
+// PredicateStats describes one predicate within a graph.
+type PredicateStats struct {
+	// Triples is the number of triples with this predicate.
+	Triples int
+	// DistinctSubjects / DistinctObjects count the distinct terms in the
+	// subject / object position across those triples.
+	DistinctSubjects int
+	DistinctObjects  int
+}
+
+// GraphStats describes one named graph.
+type GraphStats struct {
+	Triples          int
+	DistinctSubjects int
+	DistinctObjects  int
+	Predicates       map[ID]PredicateStats
+}
+
+// Stats is an immutable snapshot of the statistics catalog. It is safe to
+// share across goroutines and stays exact for as long as Version matches
+// the store's Version().
+type Stats struct {
+	// Version is the store mutation epoch the snapshot reflects.
+	Version uint64
+	// Epoch is the planning epoch (see Store.StatsEpoch).
+	Epoch uint64
+	// TotalTriples sums Triples across graphs.
+	TotalTriples int
+	Graphs       map[string]*GraphStats
+}
+
+// statsEpochMinGrowth is the smallest absolute triple-count growth that can
+// advance the stats epoch; below it even a relative jump is noise.
+const statsEpochMinGrowth = 64
+
+// Stats returns the current statistics snapshot. Rebuilds are cheap —
+// O(total distinct predicates) — and memoized per store version, so hot
+// callers (the query planner) usually get the cached pointer back. Callers
+// must not mutate the result. Stats must not be called while holding the
+// store's read lock (it may take it itself).
+func (s *Store) Stats() *Stats {
+	if st := s.statsCache.Load(); st != nil && st.Version == s.Version() {
+		return st
+	}
+	s.mu.RLock()
+	st := s.buildStatsLocked()
+	s.mu.RUnlock()
+	s.statsCache.Store(st)
+	return st
+}
+
+// StatsEpoch returns the planning epoch: a counter that advances when the
+// statistics catalog shifts materially — a new graph appears, or the total
+// triple count grows by at least 1/8 (and at least statsEpochMinGrowth)
+// since the last advance. Plans cached against an epoch stay valid until it
+// moves, so steady-state serving never replans while bulk ingest forces a
+// re-optimization. Safe to call without any lock.
+func (s *Store) StatsEpoch() uint64 { return s.statsEpoch.Load() }
+
+// maybeBumpEpochLocked advances the stats epoch if the distribution has
+// shifted since the last advance. Called with the write lock held after a
+// successful mutation; newGraph forces the bump.
+func (s *Store) maybeBumpEpochLocked(newGraph bool) {
+	grown := s.total - s.epochTotal
+	relative := max(statsEpochMinGrowth, s.epochTotal/8)
+	if newGraph || (s.epochTotal == 0 && s.total > 0) || grown >= relative {
+		s.statsEpoch.Add(1)
+		s.epochTotal = s.total
+	}
+}
+
+func (s *Store) buildStatsLocked() *Stats {
+	st := &Stats{
+		Version: s.version.Load(),
+		Epoch:   s.statsEpoch.Load(),
+		Graphs:  make(map[string]*GraphStats, len(s.graphs)),
+	}
+	for uri, g := range s.graphs {
+		gs := &GraphStats{
+			Triples:          g.n,
+			DistinctSubjects: len(g.spo),
+			DistinctObjects:  len(g.osp),
+			Predicates:       make(map[ID]PredicateStats, len(g.pos)),
+		}
+		for p, objs := range g.pos {
+			gs.Predicates[p] = PredicateStats{
+				Triples:          len(g.byPred[p]),
+				DistinctSubjects: g.predSubj[p],
+				DistinctObjects:  len(objs),
+			}
+		}
+		st.Graphs[uri] = gs
+		st.TotalTriples += g.n
+	}
+	return st
+}
+
+// Predicate aggregates the predicate's stats across the given graphs (all
+// graphs when the list is empty). Distinct counts are summed, which
+// overcounts terms shared between graphs — an upper bound, which is the
+// safe direction for selectivity estimation.
+func (st *Stats) Predicate(graphURIs []string, p ID) PredicateStats {
+	var out PredicateStats
+	st.each(graphURIs, func(gs *GraphStats) {
+		ps := gs.Predicates[p]
+		out.Triples += ps.Triples
+		out.DistinctSubjects += ps.DistinctSubjects
+		out.DistinctObjects += ps.DistinctObjects
+	})
+	return out
+}
+
+// Totals aggregates graph-level totals across the given graphs (all graphs
+// when the list is empty): triple count, distinct subjects, distinct
+// objects, and distinct predicates, each summed per graph.
+func (st *Stats) Totals(graphURIs []string) (triples, subjects, objects, predicates int) {
+	st.each(graphURIs, func(gs *GraphStats) {
+		triples += gs.Triples
+		subjects += gs.DistinctSubjects
+		objects += gs.DistinctObjects
+		predicates += len(gs.Predicates)
+	})
+	return triples, subjects, objects, predicates
+}
+
+func (st *Stats) each(graphURIs []string, f func(*GraphStats)) {
+	if len(graphURIs) == 0 {
+		for _, gs := range st.Graphs {
+			f(gs)
+		}
+		return
+	}
+	for _, uri := range graphURIs {
+		if gs := st.Graphs[uri]; gs != nil {
+			f(gs)
+		}
+	}
+}
+
+// DistinctSubjectsByPredicate exposes the graph's per-predicate distinct
+// subject counters for serialization (the snapshot stats section). The map
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) DistinctSubjectsByPredicate() map[ID]int { return g.predSubj }
+
+// derivePredSubjects counts the distinct subjects of every predicate from an
+// SPO adjacency image in one pass.
+func derivePredSubjects(spo map[ID]map[ID][]ID) map[ID]int {
+	out := make(map[ID]int, 64)
+	for _, inner := range spo {
+		for p := range inner {
+			out[p]++
+		}
+	}
+	return out
+}
+
+// statsCachePtr keeps the Store struct declaration readable.
+type statsCachePtr = atomic.Pointer[Stats]

@@ -130,16 +130,20 @@ type Graph struct {
 	byPred map[ID][]IDTriple     // predicate -> triples in insertion order
 	all    []IDTriple            // every triple in insertion order
 	set    map[IDTriple]struct{} // membership, for O(1) duplicate checks
-	n      int
+	// predSubj counts the distinct subjects per predicate — the one catalog
+	// statistic not readable as an index length (see stats.go).
+	predSubj map[ID]int
+	n        int
 }
 
 func newGraph() *Graph {
 	return &Graph{
-		spo:    make(map[ID]map[ID][]ID),
-		pos:    make(map[ID]map[ID][]ID),
-		osp:    make(map[ID]map[ID][]ID),
-		byPred: make(map[ID][]IDTriple),
-		set:    make(map[IDTriple]struct{}),
+		spo:      make(map[ID]map[ID][]ID),
+		pos:      make(map[ID]map[ID][]ID),
+		osp:      make(map[ID]map[ID][]ID),
+		byPred:   make(map[ID][]IDTriple),
+		set:      make(map[IDTriple]struct{}),
+		predSubj: make(map[ID]int),
 	}
 }
 
@@ -195,6 +199,10 @@ func (g *Graph) add(t IDTriple) bool {
 		return false
 	}
 	g.set[t] = struct{}{}
+	if len(g.spo[t.S][t.P]) == 0 {
+		// First triple of this (s, p) group: a new distinct subject for P.
+		g.predSubj[t.P]++
+	}
 	idxAdd(g.spo, t.S, t.P, t.O)
 	idxAdd(g.pos, t.P, t.O, t.S)
 	idxAdd(g.osp, t.O, t.S, t.P)
@@ -222,6 +230,13 @@ type Store struct {
 	mu sync.RWMutex
 	// version counts successful mutations; see Version.
 	version atomic.Uint64
+	// statsEpoch is the planning epoch (see StatsEpoch); epochTotal and
+	// total (both guarded by mu) drive its distribution-shift rule, and
+	// statsCache memoizes the last Stats snapshot per store version.
+	statsEpoch atomic.Uint64
+	epochTotal int
+	total      int
+	statsCache statsCachePtr
 
 	dict   *Dictionary
 	graphs map[string]*Graph
@@ -268,15 +283,17 @@ func (s *Store) GraphURIs() []string {
 	return out
 }
 
-// ensureGraph returns the graph for uri, creating it if needed.
-func (s *Store) ensureGraph(uri string) *Graph {
+// ensureGraph returns the graph for uri, creating it if needed; created
+// reports whether a new graph was installed.
+func (s *Store) ensureGraph(uri string) (g *Graph, created bool) {
 	g, ok := s.graphs[uri]
 	if !ok {
 		g = newGraph()
 		s.graphs[uri] = g
 		s.order = append(s.order, uri)
+		created = true
 	}
-	return g
+	return g, created
 }
 
 // Add inserts one triple into the named graph (duplicates are ignored,
@@ -292,10 +309,12 @@ func (s *Store) addLocked(graphURI string, t rdf.Triple) error {
 	if !t.Valid() {
 		return fmt.Errorf("store: invalid triple %s", t)
 	}
-	g := s.ensureGraph(graphURI)
+	g, created := s.ensureGraph(graphURI)
 	if g.add(IDTriple{s.dict.Encode(t.S), s.dict.Encode(t.P), s.dict.Encode(t.O)}) {
 		s.version.Add(1)
+		s.total++
 	}
+	s.maybeBumpEpochLocked(created)
 	return nil
 }
 
@@ -332,7 +351,7 @@ func (s *Store) BulkGraph(graphURI string, triples []IDTriple) error {
 		idxAdd(pos, t.P, t.O, t.S)
 		idxAdd(osp, t.O, t.S, t.P)
 	}
-	return s.bulkGraphIndexedLocked(graphURI, triples, spo, pos, osp)
+	return s.bulkGraphIndexedLocked(graphURI, triples, spo, pos, osp, nil)
 }
 
 // BulkGraphIndexed installs a complete graph from its serialized index
@@ -346,20 +365,51 @@ func (s *Store) BulkGraph(graphURI string, triples []IDTriple) error {
 func (s *Store) BulkGraphIndexed(graphURI string, triples []IDTriple, spo, pos, osp map[ID]map[ID][]ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.bulkGraphIndexedLocked(graphURI, triples, spo, pos, osp)
+	return s.bulkGraphIndexedLocked(graphURI, triples, spo, pos, osp, nil)
 }
 
-func (s *Store) bulkGraphIndexedLocked(graphURI string, triples []IDTriple, spo, pos, osp map[ID]map[ID][]ID) error {
+// BulkGraphIndexedStats is BulkGraphIndexed with the per-predicate distinct
+// subject counters supplied by the caller (a version-2 snapshot's stats
+// section), skipping the derivation pass over the SPO image. The table is
+// validated against the POS image: it must cover exactly the graph's
+// predicates with counts in [1, len(triples)].
+func (s *Store) BulkGraphIndexedStats(graphURI string, triples []IDTriple, spo, pos, osp map[ID]map[ID][]ID, predSubj map[ID]int) error {
+	if predSubj == nil {
+		predSubj = map[ID]int{}
+	}
+	if len(predSubj) != len(pos) {
+		return fmt.Errorf("store: stats table covers %d predicates, graph has %d", len(predSubj), len(pos))
+	}
+	for p, n := range predSubj {
+		if _, ok := pos[p]; !ok {
+			return fmt.Errorf("store: stats table names predicate %d absent from the graph", p)
+		}
+		if n < 1 || n > len(triples) {
+			return fmt.Errorf("store: stats table claims %d distinct subjects for predicate %d of a %d-triple graph", n, p, len(triples))
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bulkGraphIndexedLocked(graphURI, triples, spo, pos, osp, predSubj)
+}
+
+// bulkGraphIndexedLocked installs a prebuilt graph; predSubj == nil derives
+// the distinct-subject counters from the SPO image.
+func (s *Store) bulkGraphIndexedLocked(graphURI string, triples []IDTriple, spo, pos, osp map[ID]map[ID][]ID, predSubj map[ID]int) error {
 	if g := s.graphs[graphURI]; g != nil && g.n > 0 {
 		return fmt.Errorf("store: bulk load into non-empty graph <%s>", graphURI)
 	}
+	if predSubj == nil {
+		predSubj = derivePredSubjects(spo)
+	}
 	g := &Graph{
-		spo:    spo,
-		pos:    pos,
-		osp:    osp,
-		byPred: make(map[ID][]IDTriple, len(pos)),
-		all:    triples,
-		n:      len(triples),
+		spo:      spo,
+		pos:      pos,
+		osp:      osp,
+		byPred:   make(map[ID][]IDTriple, len(pos)),
+		all:      triples,
+		predSubj: predSubj,
+		n:        len(triples),
 	}
 	for p, objs := range pos {
 		n := 0
@@ -376,6 +426,8 @@ func (s *Store) bulkGraphIndexedLocked(graphURI string, triples []IDTriple, spo,
 	// the incremental path) plus one for the graph install itself, which
 	// changes GraphURIs even when the graph is empty.
 	s.version.Add(uint64(len(triples)) + 1)
+	s.total += len(triples)
+	s.maybeBumpEpochLocked(true)
 	return nil
 }
 
