@@ -15,12 +15,15 @@
 //   - result byte-identity flags recorded by the serving, parallel, and
 //     planner sections are all true (a false one is a determinism or
 //     planner-correctness regression),
+//   - the traffic section upholds the load-shedding contract: Retry-After
+//     on every shed, zero unexpected errors or identity violations, and a
+//     stampede coalesced into exactly one evaluation,
 //   - sections present in the fresh report are non-degenerate.
 //
 // -strict additionally requires every section named by -sections (figure
-// numbers and/or "storage", "serving", "parallel", "planner") to be present
-// in the fresh report — a missing section means the harness silently
-// dropped a workload and is a hard failure.
+// numbers and/or "storage", "serving", "parallel", "planner", "traffic")
+// to be present in the fresh report — a missing section means the harness
+// silently dropped a workload and is a hard failure.
 //
 // Timing deltas between the reports are always printed as warnings only:
 // the bench boxes are shared single cores, and wall-clock noise is not a
@@ -97,6 +100,8 @@ func checkSections(fresh *bench.JSONReport, sections string) []string {
 			missing = fresh.Parallel == nil
 		case "planner":
 			missing = fresh.Planner == nil
+		case "traffic":
+			missing = fresh.Traffic == nil
 		default:
 			missing = !figures[s]
 		}
@@ -204,6 +209,39 @@ func check(committed, fresh *bench.JSONReport, warnRatio float64) []string {
 	if committed.Storage != nil && fresh.Storage != nil {
 		if fresh.Storage.ReopenSeconds <= 0 {
 			problems = append(problems, "storage section has an empty reopen timing")
+		}
+	}
+	if t := fresh.Traffic; t != nil {
+		if len(t.Stages) == 0 {
+			problems = append(problems, "traffic section has no stages")
+		}
+		var totalShed uint64
+		for i, st := range t.Stages {
+			if st.Requests == 0 || st.OK == 0 {
+				problems = append(problems, fmt.Sprintf("traffic stage %d is empty (%d requests, %d ok)", i, st.Requests, st.OK))
+			}
+			if st.P50 <= 0 || st.P50 > st.P95 || st.P95 > st.P99 {
+				problems = append(problems, fmt.Sprintf("traffic stage %d has broken percentiles (p50=%v p95=%v p99=%v)", i, st.P50, st.P95, st.P99))
+			}
+			totalShed += st.Shed
+		}
+		if totalShed == 0 {
+			problems = append(problems, "traffic: no request was ever shed — admission gates never engaged")
+		}
+		if !t.RetryAfterAlways {
+			problems = append(problems, "traffic: some shed response lacked Retry-After")
+		}
+		if t.UnexpectedErrors != 0 {
+			problems = append(problems, fmt.Sprintf("traffic: %d unexpected errors (non-200/429/503 or transport failures)", t.UnexpectedErrors))
+		}
+		if t.IdentityViolations != 0 {
+			problems = append(problems, fmt.Sprintf("traffic: %d responses diverged from their reference bodies", t.IdentityViolations))
+		}
+		if t.Stampede.Evaluations != 1 {
+			problems = append(problems, fmt.Sprintf("traffic: stampede cost %d evaluations, want exactly 1", t.Stampede.Evaluations))
+		}
+		if !t.Stampede.ByteIdentical {
+			problems = append(problems, "traffic: stampede responses diverged")
 		}
 	}
 	return problems

@@ -33,6 +33,12 @@
 // and with the cost-based planner, recording timings and result
 // byte-identity.
 //
+// -fig traffic runs the multi-client load workload: an admission-controlled
+// caching endpoint driven by a Zipfian Figure-5 mix through a closed-loop
+// concurrency ramp and an open-loop overload stage, recording p50/p95/p99
+// latencies, shed rates by reason, and the stampede-protection check
+// (N concurrent cold requests, exactly one evaluation).
+//
 // -digest evaluates the Figure-5 suite and writes one "task sha256" line
 // per query (no timings). CI runs it twice — GOMAXPROCS=1 -parallel 1
 // versus the parallel default — and diffs the files, so any parallel-eval
@@ -60,10 +66,24 @@ import (
 // making the suite slow.
 const servingWarmRequests = 30
 
+// Traffic workload shapes per scale: stage duration, closed-loop client
+// ramp, and stampede width. Small keeps the CI smoke fast; bench sustains
+// each stage long enough for stable percentiles.
+var (
+	trafficSmallRamp = []int{1, 8, 32}
+	trafficBenchRamp = []int{1, 8, 32, 128}
+)
+
+const (
+	trafficSmallStage    = 200 * time.Millisecond
+	trafficBenchStage    = time.Second
+	trafficStampedeWidth = 16
+)
+
 func main() {
 	var (
 		scaleFlag = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
-		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner")`)
+		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner", "traffic")`)
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
 		bestOf    = flag.Int("bestof", 1, "rerun each measured phase N times and keep the best (use >=3 when regenerating committed numbers)")
 		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
@@ -162,6 +182,18 @@ func main() {
 			}
 			report.Planner = rep
 			fmt.Println(bench.FormatPlanner(rep))
+		case "traffic":
+			fmt.Fprintln(os.Stderr, "measuring serving under load (admission control, shedding, stampedes)...")
+			stage, ramp := trafficSmallStage, trafficSmallRamp
+			if scale == bench.ScaleBench {
+				stage, ramp = trafficBenchStage, trafficBenchRamp
+			}
+			rep, err := bench.MeasureTraffic(env, stage, ramp, trafficStampedeWidth, *timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Traffic = rep
+			fmt.Println(bench.FormatTraffic(rep))
 		case "3":
 			rows := bench.RunFigure3(env, *timeout, *bestOf)
 			report.Add("3", rows)

@@ -11,19 +11,29 @@
 //	rdfframes-server -listen :8080 -snapshot data.snap
 //	rdfframes-server -load http://g1=dump1.nt -write-snapshot data.snap ...
 //	rdfframes-server -maxrows 10000 -timeout 30s ...
+//	rdfframes-server -max-inflight 64 -max-cost 1e7 -drain 30s ...
 //
 // -snapshot opens a store persisted by -write-snapshot (or by datagen
 // -snapshot) in milliseconds instead of re-parsing text; combine
 // -load with -write-snapshot once to convert a text dataset.
+//
+// The server sheds load instead of falling over: -max-inflight bounds
+// concurrently evaluating queries and -max-cost sheds queries whose
+// planner cost estimate exceeds the budget, both answering 429 with
+// Retry-After. On SIGINT/SIGTERM it drains gracefully — new queries get
+// 503 + Retry-After while in-flight ones finish (up to -drain) — and
+// exits 0 after a clean drain.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rdfframes/internal/datagen"
@@ -51,6 +61,9 @@ func main() {
 		cacheOn   = flag.Bool("cache", true, "enable the serving caches (parsed plans + store-versioned results with pagination-aware slicing)")
 		cacheRows = flag.Int64("cache-rows", sparql.DefaultResultCacheRows, "result cache budget in total cached rows (roughly 64 MB at the default); 0 caches plans only")
 		parallel  = flag.Int("parallel", 0, "intra-query morsel workers per query (0 = GOMAXPROCS, 1 = serial); results are identical at every setting")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently evaluating queries (0 = unlimited); excess requests are shed with 429 + Retry-After")
+		maxCost   = flag.Float64("max-cost", 0, "per-query planner cost budget in estimated intermediate rows (0 = unlimited); pricier queries are shed with 429")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
 		loads     loadFlags
 	)
 	flag.Var(&loads, "load", "graphURI=file.nt pair to load (repeatable)")
@@ -119,14 +132,27 @@ func main() {
 	srv := server.New(eng)
 	srv.MaxRows = *maxRows
 	srv.MaxBodyBytes = *maxBody
+	srv.MaxInFlight = *inflight
+	srv.MaxQueryCost = *maxCost
 	srv.Logger = log.Default()
 
 	for _, uri := range st.GraphURIs() {
 		log.Printf("graph <%s>: %d triples", uri, st.Graph(uri).Len())
 	}
-	log.Printf("SPARQL endpoint on %s/sparql (maxrows=%d, timeout=%v, cache=%v, parallel=%d)",
-		*listen, *maxRows, *timeout, *cacheOn, *parallel)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+	log.Printf("SPARQL endpoint on %s/sparql (maxrows=%d, timeout=%v, cache=%v, parallel=%d, max-inflight=%d, max-cost=%g)",
+		*listen, *maxRows, *timeout, *cacheOn, *parallel, *inflight, *maxCost)
+
+	// Serve with full connection-lifecycle timeouts (slow-loris protection)
+	// until SIGINT/SIGTERM, then drain: refuse new queries with 503 +
+	// Retry-After, give in-flight ones up to -drain to finish, exit 0 on a
+	// clean shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hs := server.NewHTTPServer(*listen, srv.Handler(), *timeout)
+	if err := srv.Serve(ctx, hs, nil, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly; goodbye")
 }
 
 func mustLoadSynthetic(st *store.Store, dbp datagen.DBpediaConfig, dblp datagen.DBLPConfig, yago datagen.YAGOConfig) {

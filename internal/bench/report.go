@@ -200,6 +200,9 @@ type JSONReport struct {
 	// cost-based join ordering and byte-identity) when benchrunner
 	// measured them.
 	Planner *PlannerReport `json:"planner,omitempty"`
+	// Traffic holds the multi-client load numbers (admission control,
+	// shedding, stampede protection) when benchrunner measured them.
+	Traffic *TrafficReport `json:"traffic,omitempty"`
 }
 
 // Add appends every measurement of the figure's rows to the report.

@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rdfframes/internal/loadgen"
+	"rdfframes/internal/server"
+	"rdfframes/internal/sparql"
+)
+
+// TrafficStage is one load stage of the traffic benchmark: a closed-loop
+// concurrency step or the open-loop overload probe, with latencies, shed
+// accounting, and the per-reason shed deltas read off the server's /stats.
+type TrafficStage struct {
+	loadgen.Result
+	// ShedByReason is the delta of the server's per-reason shed counters
+	// (capacity, cost, draining) across the stage.
+	ShedByReason map[string]uint64 `json:"shed_by_reason"`
+}
+
+// TrafficStampede records the stampede-protection check: N concurrent cold
+// requests for the same query against a fresh endpoint.
+type TrafficStampede struct {
+	Clients int `json:"clients"`
+	// Evaluations is how many engine evaluations the stampede cost;
+	// singleflight coalescing makes this exactly 1.
+	Evaluations uint64 `json:"evaluations"`
+	// ByteIdentical reports that every client received the same body.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// TrafficReport captures the serving layer under multi-client load: an
+// admission-controlled caching endpoint driven through a closed-loop
+// concurrency ramp and an open-loop overload stage, plus the stampede
+// check. The robustness contract aggregates across all stages: zero
+// unexpected errors, every shed carrying Retry-After, and every 200 body
+// byte-identical to its reference.
+type TrafficReport struct {
+	// Queries is the size of the Figure-5 mix; ZipfS its skew.
+	Queries int     `json:"queries"`
+	ZipfS   float64 `json:"zipf_s"`
+	// MaxInFlight and MaxQueryCost are the admission limits under test.
+	MaxInFlight  int     `json:"max_in_flight"`
+	MaxQueryCost float64 `json:"max_query_cost"`
+	// CostShedTask is the query the cost budget deliberately excludes
+	// (empty when the estimates gave no headroom to split on).
+	CostShedTask string `json:"cost_shed_task,omitempty"`
+
+	Stages   []TrafficStage  `json:"stages"`
+	Stampede TrafficStampede `json:"stampede"`
+
+	// RetryAfterAlways is true iff no shed in any stage lacked Retry-After.
+	RetryAfterAlways bool `json:"retry_after_always"`
+	// UnexpectedErrors sums transport failures and non-200/429/503
+	// statuses across stages; a correct server keeps this at 0.
+	UnexpectedErrors uint64 `json:"unexpected_errors"`
+	// IdentityViolations sums 200 bodies differing from their reference.
+	IdentityViolations uint64 `json:"identity_violations"`
+
+	// Admission is the endpoint's final admission-stats snapshot.
+	Admission server.AdmissionStats `json:"admission"`
+}
+
+// trafficZipfS is the mix skew: with 15 queries, the top query draws
+// roughly half the traffic — hot enough to exercise the result cache and
+// singleflight, skewed like real dashboard workloads.
+const trafficZipfS = 1.3
+
+// MeasureTraffic runs the multi-client load benchmark against an
+// admission-controlled caching endpoint over env's store: a closed-loop
+// ramp over the given client counts, then an open-loop stage offered at
+// 1.5x the best closed-loop throughput (an overload the server must answer
+// with sheds, not errors), then the stampede check on a fresh endpoint.
+// stageDur is the wall-clock length of each load stage; ramp the
+// closed-loop client counts; stampedeClients the width of the stampede.
+func MeasureTraffic(env *Env, stageDur time.Duration, ramp []int, stampedeClients int, timeout time.Duration) (*TrafficReport, error) {
+	if len(ramp) == 0 {
+		ramp = []int{1, 8, 32}
+	}
+	if stampedeClients < 2 {
+		stampedeClients = 16
+	}
+
+	eng := sparql.NewEngine(env.Store)
+	eng.SetTimeout(timeout)
+	eng.EnableCache(sparql.DefaultPlanCacheEntries, sparql.DefaultResultCacheRows)
+	srv := server.New(eng)
+	// Capacity: a handful of slots over the available cores — enough to
+	// keep the engine busy, small enough that the ramp's upper stages
+	// overcommit it and capacity shedding actually engages.
+	srv.MaxInFlight = 2*runtime.GOMAXPROCS(0) + 2
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	endpoint := ts.URL + "/sparql"
+
+	rep := &TrafficReport{ZipfS: trafficZipfS, MaxInFlight: srv.MaxInFlight, RetryAfterAlways: true}
+
+	// Build the Figure-5 mix, cheapest-first so the Zipfian head lands on
+	// fast queries (the realistic hot/cold split), and collect reference
+	// bodies before any admission limits apply.
+	type mixEntry struct {
+		task  string
+		query string
+		cost  float64
+	}
+	var mix []mixEntry
+	for _, task := range Synthetic() {
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			return nil, fmt.Errorf("bench traffic %s: %w", task.ID, err)
+		}
+		cost, ok, err := eng.EstimateCost(query)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("bench traffic %s: cost estimate failed (ok=%v): %v", task.ID, ok, err)
+		}
+		mix = append(mix, mixEntry{task: task.ID, query: query, cost: cost})
+	}
+	sort.SliceStable(mix, func(i, j int) bool { return mix[i].cost < mix[j].cost })
+	rep.Queries = len(mix)
+
+	queries := make([]loadgen.Query, len(mix))
+	expect := make(map[string][]byte, len(mix))
+	for i, m := range mix {
+		queries[i] = loadgen.Query{ID: m.task, URL: endpoint + "?query=" + url.QueryEscape(m.query)}
+		body, err := fetchBody(endpoint, m.query)
+		if err != nil {
+			return nil, fmt.Errorf("bench traffic %s: reference: %w", m.task, err)
+		}
+		expect[m.task] = body
+	}
+
+	// Cost budget: exclude exactly the most expensive query when the
+	// estimates leave a gap to split on. Requests for it shed with 429
+	// deterministically, exercising the cost gate mid-traffic.
+	if n := len(mix); n >= 2 && mix[n-1].cost > mix[n-2].cost {
+		rep.MaxQueryCost = (mix[n-1].cost + mix[n-2].cost) / 2
+		rep.CostShedTask = mix[n-1].task
+		srv.MaxQueryCost = rep.MaxQueryCost
+	}
+
+	runStage := func(cfg loadgen.Config) error {
+		before := srv.AdmissionStats()
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return err
+		}
+		after := srv.AdmissionStats()
+		stage := TrafficStage{Result: *res, ShedByReason: map[string]uint64{}}
+		for reason, n := range after.Shed {
+			stage.ShedByReason[reason] = n - before.Shed[reason]
+		}
+		if res.ShedNoRetryAfter > 0 {
+			rep.RetryAfterAlways = false
+		}
+		rep.UnexpectedErrors += res.Errors
+		rep.IdentityViolations += res.IdentityViolations
+		rep.Stages = append(rep.Stages, stage)
+		return nil
+	}
+
+	base := loadgen.Config{
+		Queries:  queries,
+		Expect:   expect,
+		Duration: stageDur,
+		ZipfS:    trafficZipfS,
+		Seed:     1,
+	}
+	var bestQPS float64
+	for _, clients := range ramp {
+		cfg := base
+		cfg.Clients = clients
+		cfg.Seed = int64(clients) // distinct but reproducible per stage
+		if err := runStage(cfg); err != nil {
+			return nil, fmt.Errorf("bench traffic: closed loop %d clients: %w", clients, err)
+		}
+		if qps := rep.Stages[len(rep.Stages)-1].QPS; qps > bestQPS {
+			bestQPS = qps
+		}
+	}
+
+	// Open loop at 1.5x the best sustained throughput: offered load beyond
+	// capacity, which the admission gates must absorb as sheds.
+	openRate := 1.5 * bestQPS
+	if openRate < 10 {
+		openRate = 10
+	}
+	cfg := base
+	cfg.RatePerSec = openRate
+	cfg.Seed = 99991
+	if err := runStage(cfg); err != nil {
+		return nil, fmt.Errorf("bench traffic: open loop: %w", err)
+	}
+
+	rep.Admission = srv.AdmissionStats()
+
+	// Stampede: a fresh caching endpoint (cold result cache), N concurrent
+	// identical requests, exactly one evaluation, identical bodies.
+	st, err := measureStampede(env, stampedeClients, timeout)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stampede = *st
+	return rep, nil
+}
+
+// measureStampede fires n concurrent identical cold requests at a fresh
+// caching endpoint and counts the engine evaluations behind them.
+func measureStampede(env *Env, n int, timeout time.Duration) (*TrafficStampede, error) {
+	eng := sparql.NewEngine(env.Store)
+	eng.SetTimeout(timeout)
+	eng.EnableCache(sparql.DefaultPlanCacheEntries, sparql.DefaultResultCacheRows)
+	ts := httptest.NewServer(server.New(eng).Handler())
+	defer ts.Close()
+
+	task := Synthetic()[0]
+	query, err := task.Frame(env).ToSPARQL()
+	if err != nil {
+		return nil, err
+	}
+	u := ts.URL + "/sparql?query=" + url.QueryEscape(query)
+
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(u)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	st := &TrafficStampede{Clients: n, ByteIdentical: true}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("bench traffic: stampede client %d: %w", i, errs[i])
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			st.ByteIdentical = false
+		}
+	}
+	st.Evaluations = eng.Evaluations()
+	return st, nil
+}
+
+// FormatTraffic renders the traffic benchmark as a text table.
+func FormatTraffic(rep *TrafficReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Serving under load: %d-query Zipfian mix (s=%.1f), max in-flight %d",
+		rep.Queries, rep.ZipfS, rep.MaxInFlight)
+	if rep.CostShedTask != "" {
+		fmt.Fprintf(&sb, ", cost budget %.0f (sheds %s)", rep.MaxQueryCost, rep.CostShedTask)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-14s %8s %8s %8s %7s %10s %10s %10s\n",
+		"stage", "requests", "ok", "shed", "rate", "p50 (ms)", "p95 (ms)", "p99 (ms)")
+	for _, st := range rep.Stages {
+		label := fmt.Sprintf("closed x%d", st.Clients)
+		if st.Mode == "open" {
+			label = fmt.Sprintf("open %.0f/s", st.RatePerSec)
+		}
+		fmt.Fprintf(&sb, "%-14s %8d %8d %8d %6.1f%% %10.2f %10.2f %10.2f\n",
+			label, st.Requests, st.OK, st.Shed, 100*st.ShedRate,
+			1000*st.P50, 1000*st.P95, 1000*st.P99)
+	}
+	fmt.Fprintf(&sb, "stampede: %d concurrent cold clients -> %d evaluation(s), identical=%v\n",
+		rep.Stampede.Clients, rep.Stampede.Evaluations, rep.Stampede.ByteIdentical)
+	fmt.Fprintf(&sb, "contract: retry-after on every shed=%v, unexpected errors=%d, identity violations=%d\n",
+		rep.RetryAfterAlways, rep.UnexpectedErrors, rep.IdentityViolations)
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureTrafficSmall runs the full traffic benchmark at test scale and
+// checks the robustness contract end to end: stages produce traffic, no
+// unexpected errors or identity violations, every shed carries Retry-After,
+// and the stampede costs exactly one evaluation.
+func TestMeasureTrafficSmall(t *testing.T) {
+	env, err := NewEnv(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	rep, err := MeasureTraffic(env, 150*time.Millisecond, []int{2, 8}, 8, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Stages) != 3 { // two closed-loop steps + the open-loop stage
+		t.Fatalf("stages = %d, want 3", len(rep.Stages))
+	}
+	for i, st := range rep.Stages {
+		if st.Requests == 0 {
+			t.Errorf("stage %d: no requests", i)
+		}
+		if st.OK == 0 {
+			t.Errorf("stage %d: no successful requests", i)
+		}
+		if st.P50 <= 0 || st.P50 > st.P95 || st.P95 > st.P99 {
+			t.Errorf("stage %d: percentiles broken: p50=%v p95=%v p99=%v", i, st.P50, st.P95, st.P99)
+		}
+	}
+	if rep.Stages[len(rep.Stages)-1].Mode != "open" {
+		t.Fatalf("last stage mode = %s, want open", rep.Stages[len(rep.Stages)-1].Mode)
+	}
+
+	if rep.UnexpectedErrors != 0 {
+		t.Fatalf("unexpected errors = %d", rep.UnexpectedErrors)
+	}
+	if rep.IdentityViolations != 0 {
+		t.Fatalf("identity violations = %d", rep.IdentityViolations)
+	}
+	if !rep.RetryAfterAlways {
+		t.Fatal("some shed lacked Retry-After")
+	}
+
+	if rep.Stampede.Clients != 8 {
+		t.Fatalf("stampede clients = %d", rep.Stampede.Clients)
+	}
+	if rep.Stampede.Evaluations != 1 {
+		t.Fatalf("stampede evaluations = %d, want exactly 1", rep.Stampede.Evaluations)
+	}
+	if !rep.Stampede.ByteIdentical {
+		t.Fatal("stampede bodies diverged")
+	}
+
+	// The cost gate must have a deterministic victim when estimates split.
+	if rep.CostShedTask != "" && rep.MaxQueryCost <= 0 {
+		t.Fatal("cost-shed task named but no budget set")
+	}
+
+	if out := FormatTraffic(rep); out == "" {
+		t.Fatal("empty traffic rendering")
+	}
+}

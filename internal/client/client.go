@@ -33,7 +33,13 @@ type HTTPClient struct {
 	// PageSize is the pagination chunk size; 0 disables pagination.
 	PageSize int
 	// MaxRetries bounds retries per chunk on transient errors (default 2).
+	// It is the legacy knob: when Retry is nil, the client uses a default
+	// RetryPolicy with MaxAttempts = MaxRetries + 1.
 	MaxRetries int
+	// Retry, when non-nil, fully specifies the retry schedule — attempt
+	// cap, exponential backoff, jitter, and Retry-After handling — and
+	// takes precedence over MaxRetries.
+	Retry *RetryPolicy
 	// HTTP is the underlying client; nil uses a 30s-timeout default.
 	HTTP *http.Client
 	// UsePost selects POST form encoding instead of GET (useful for
@@ -141,33 +147,48 @@ func (c *HTTPClient) paginateFrom(query string, seed *sparql.Results, pageSize, 
 	}
 }
 
-func (c *HTTPClient) fetch(query string) (*sparql.Results, bool, error) {
-	retries := c.MaxRetries
-	if retries <= 0 {
-		retries = 2
+// retryPolicy resolves the effective policy: Retry when set, otherwise a
+// default schedule whose attempt cap honors the legacy MaxRetries knob.
+func (c *HTTPClient) retryPolicy() RetryPolicy {
+	if c.Retry != nil {
+		return c.Retry.withDefaults()
 	}
+	p := RetryPolicy{}.withDefaults()
+	if c.MaxRetries > 0 {
+		p.MaxAttempts = c.MaxRetries + 1
+	}
+	return p
+}
+
+func (c *HTTPClient) fetch(query string) (*sparql.Results, bool, error) {
+	pol := c.retryPolicy()
 	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+	var hint time.Duration
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(c.context(), pol.delay(attempt-1, hint)); err != nil {
+				// The caller abandoned the work mid-backoff.
+				return nil, false, err
+			}
 		}
 		if err := c.context().Err(); err != nil {
 			// The caller abandoned the work; retrying cannot succeed.
 			return nil, false, err
 		}
-		res, truncated, retryable, err := c.fetchOnce(query)
+		res, truncated, ri, err := c.fetchOnce(query)
 		if err == nil {
 			return res, truncated, nil
 		}
 		lastErr = err
-		if !retryable {
+		if !ri.retryable {
 			return nil, false, err
 		}
+		hint = ri.retryAfter
 	}
 	return nil, false, fmt.Errorf("client: giving up after retries: %w", lastErr)
 }
 
-func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated, retryable bool, err error) {
+func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated bool, ri retryInfo, err error) {
 	var req *http.Request
 	if c.UsePost {
 		form := url.Values{"query": {query}}
@@ -181,19 +202,22 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated, re
 			c.Endpoint+"?query="+url.QueryEscape(query), nil)
 	}
 	if err != nil {
-		return nil, false, false, err
+		return nil, false, retryInfo{}, err
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		// A cancelled context is the caller's decision, not a transient
 		// endpoint failure.
-		return nil, false, c.context().Err() == nil, err
+		return nil, false, retryInfo{retryable: c.context().Err() == nil}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		err := fmt.Errorf("client: endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
-		return nil, false, resp.StatusCode >= 500, err
+		// 5xx is transient; so is 429 — an admission-controlled endpoint
+		// shedding load expects the client back after its Retry-After.
+		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return nil, false, retryInfo{retryable: retryable, retryAfter: retryAfterHint(resp)}, err
 	}
 	// Go's default transport negotiates and decompresses gzip by itself
 	// (and then hides the header); a Content-Encoding that is still
@@ -203,16 +227,18 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated, re
 	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
 		gz, err := gzip.NewReader(resp.Body)
 		if err != nil {
-			return nil, false, true, fmt.Errorf("client: gzip response: %w", err)
+			return nil, false, retryInfo{retryable: true}, fmt.Errorf("client: gzip response: %w", err)
 		}
 		defer gz.Close()
 		body = gz
 	}
 	r, err := sparql.ReadJSON(body)
 	if err != nil {
-		return nil, false, true, fmt.Errorf("client: decoding results: %w", err)
+		// Covers both malformed JSON and bodies cut mid-stream by a
+		// dropped connection: the next attempt re-fetches the whole chunk.
+		return nil, false, retryInfo{retryable: true}, fmt.Errorf("client: decoding results: %w", err)
 	}
-	return r, resp.Header.Get("X-Truncated") == "true", false, nil
+	return r, resp.Header.Get("X-Truncated") == "true", retryInfo{}, nil
 }
 
 // Explain asks the endpoint for the query's optimized execution plan

@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEvalsDelayHonorsContext(t *testing.T) {
+	var f Evals
+	f.SetDelay(5 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Hook(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed hook ignored cancellation")
+	}
+}
+
+func TestEvalsFailNext(t *testing.T) {
+	var f Evals
+	boom := errors.New("boom")
+	f.FailNext(2, boom)
+	for i := 0; i < 2; i++ {
+		if err := f.Hook(context.Background()); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+	}
+	if err := f.Hook(context.Background()); err != nil {
+		t.Fatalf("disarmed hook failed: %v", err)
+	}
+	if f.Calls() != 3 {
+		t.Fatalf("calls = %d, want 3", f.Calls())
+	}
+}
+
+func TestCutBodyTransport(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1000))
+	}))
+	defer srv.Close()
+
+	ct := &CutBodyTransport{Limit: 100}
+	ct.Arm(1)
+	c := &http.Client{Transport: ct}
+
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(body) > 100 {
+		t.Fatalf("read %d bytes past the cut", len(body))
+	}
+	if ct.Cuts() != 1 {
+		t.Fatalf("cuts = %d, want 1", ct.Cuts())
+	}
+
+	// Disarmed: full body again.
+	resp, err = c.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 1000 {
+		t.Fatalf("after disarm: len=%d err=%v", len(body), err)
+	}
+}
+
+func TestShedRequests(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	srv := httptest.NewServer(ShedRequests(inner, http.StatusTooManyRequests, time.Second,
+		func(n int) bool { return n == 2 }))
+	defer srv.Close()
+
+	for i := 1; i <= 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if i == 2 {
+			if resp.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("request 2: status = %d, want 429", resp.StatusCode)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("shed response missing Retry-After")
+			}
+		} else if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status = %d, want 200", i, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package loadgen is a multi-client SPARQL traffic generator for driving an
+// admission-controlled endpoint: N concurrent clients issue a Zipfian-skewed
+// query mix in closed loop (each client waits for its response before
+// sending the next request) or open loop (arrivals at a fixed rate,
+// regardless of completions), and the harness records per-request latencies,
+// shed rates, and response-body identity against expected references.
+//
+// The generator is deliberately impolite: shed requests are retried after
+// only a token backoff rather than the server's Retry-After hint, because
+// its job is to characterize the server under sustained pressure — the
+// well-behaved backoff path is the client package's job and is tested
+// there. What the generator verifies is the server's side of the contract:
+// every shed carries Retry-After, nothing but 200/429/503 comes back, and
+// every 200 body is byte-identical to the reference for its query.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Query is one entry in the generated mix.
+type Query struct {
+	// ID labels the query in results and keys Expect.
+	ID string
+	// URL is the full request URL (endpoint + encoded query text).
+	URL string
+}
+
+// Config drives one load stage.
+type Config struct {
+	// Queries is the mix, most-popular first: the Zipfian selector favors
+	// low indices.
+	Queries []Query
+	// Expect, when non-nil, maps query ID to the expected response body;
+	// 200 responses that differ are counted as identity violations.
+	Expect map[string][]byte
+	// Clients is the closed-loop concurrency (ignored in open loop).
+	Clients int
+	// RatePerSec switches to open loop: arrivals at this rate for the
+	// whole duration, each in its own goroutine. 0 = closed loop.
+	RatePerSec float64
+	// Duration is the stage length.
+	Duration time.Duration
+	// ZipfS is the Zipfian skew parameter (> 1; default 1.3). Larger
+	// values concentrate more of the traffic on the first queries.
+	ZipfS float64
+	// Seed makes query selection reproducible across runs.
+	Seed int64
+	// ShedBackoff is the pause after a shed response before the client's
+	// next request (default 1ms — just enough to avoid a pure busy spin).
+	ShedBackoff time.Duration
+	// HTTP overrides the transport (default: a fresh http.Client).
+	HTTP *http.Client
+}
+
+// Result aggregates one stage.
+type Result struct {
+	Mode       string  `json:"mode"` // "closed" or "open"
+	Clients    int     `json:"clients,omitempty"`
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Seconds    float64 `json:"seconds"`
+
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	// Shed counts 429/503 responses; ShedNoRetryAfter counts the subset
+	// that violated the contract by omitting Retry-After.
+	Shed             uint64 `json:"shed"`
+	ShedNoRetryAfter uint64 `json:"shed_no_retry_after"`
+	// Errors counts transport failures and any status other than
+	// 200/429/503 — all unexpected under a correct server.
+	Errors uint64 `json:"errors"`
+	// IdentityViolations counts 200 bodies that differed from Expect.
+	IdentityViolations uint64 `json:"identity_violations"`
+
+	// Latency percentiles over successful (200) requests, in seconds.
+	P50 float64 `json:"p50_seconds"`
+	P95 float64 `json:"p95_seconds"`
+	P99 float64 `json:"p99_seconds"`
+	// QPS is successful requests per second of stage wall clock.
+	QPS float64 `json:"qps"`
+	// ShedRate is Shed / Requests.
+	ShedRate float64 `json:"shed_rate"`
+}
+
+// counters collects the shared tallies; latencies merge per worker.
+type counters struct {
+	requests, ok, shed, shedNoRA, errors, identity atomic.Uint64
+}
+
+// Run executes one load stage and aggregates its results.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("loadgen: no queries configured")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive duration")
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.3
+	}
+	if cfg.ShedBackoff <= 0 {
+		cfg.ShedBackoff = time.Millisecond
+	}
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	var tally counters
+	var mu sync.Mutex
+	var latencies []float64
+
+	record := func(local []float64) {
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var res *Result
+	if cfg.RatePerSec > 0 {
+		res = runOpen(ctx, cfg, hc, &tally, record)
+	} else {
+		res = runClosed(ctx, cfg, hc, &tally, record)
+	}
+	res.Seconds = time.Since(start).Seconds()
+
+	res.Requests = tally.requests.Load()
+	res.OK = tally.ok.Load()
+	res.Shed = tally.shed.Load()
+	res.ShedNoRetryAfter = tally.shedNoRA.Load()
+	res.Errors = tally.errors.Load()
+	res.IdentityViolations = tally.identity.Load()
+	if res.Seconds > 0 {
+		res.QPS = float64(res.OK) / res.Seconds
+	}
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	}
+	sort.Float64s(latencies)
+	res.P50 = percentile(latencies, 0.50)
+	res.P95 = percentile(latencies, 0.95)
+	res.P99 = percentile(latencies, 0.99)
+	return res, nil
+}
+
+// runClosed starts cfg.Clients workers, each looping request-by-request
+// until the stage context expires.
+func runClosed(ctx context.Context, cfg Config, hc *http.Client, tally *counters, record func([]float64)) *Result {
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pick := newPicker(cfg, w)
+			local := make([]float64, 0, 1024)
+			for ctx.Err() == nil {
+				q := &cfg.Queries[pick()]
+				shed := doOne(ctx, hc, q, cfg.Expect, tally, &local)
+				if shed {
+					sleepCtx(ctx, cfg.ShedBackoff)
+				}
+			}
+			record(local)
+		}(w)
+	}
+	wg.Wait()
+	return &Result{Mode: "closed", Clients: clients}
+}
+
+// runOpen fires arrivals at the configured rate, each handled in its own
+// goroutine — completions do not gate arrivals, so an overloaded server
+// sees the queue an open system would build.
+func runOpen(ctx context.Context, cfg Config, hc *http.Client, tally *counters, record func([]float64)) *Result {
+	interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	pick := newPicker(cfg, 0)
+	var wg sync.WaitGroup
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+arrivals:
+	for {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-tick.C:
+			q := &cfg.Queries[pick()]
+			wg.Add(1)
+			go func(q *Query) {
+				defer wg.Done()
+				local := make([]float64, 0, 1)
+				doOne(ctx, hc, q, cfg.Expect, tally, &local)
+				record(local)
+			}(q)
+		}
+	}
+	wg.Wait()
+	return &Result{Mode: "open", RatePerSec: cfg.RatePerSec}
+}
+
+// doOne issues a single request and tallies its outcome; reports whether
+// the request was shed (so closed-loop callers can back off briefly).
+func doOne(ctx context.Context, hc *http.Client, q *Query, expect map[string][]byte, tally *counters, local *[]float64) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, q.URL, nil)
+	if err != nil {
+		tally.errors.Add(1)
+		return false
+	}
+	tally.requests.Add(1)
+	begin := time.Now()
+	resp, err := hc.Do(req)
+	if err != nil {
+		// The stage deadline cancels in-flight requests; those are not
+		// server errors. Anything else is.
+		if ctx.Err() == nil {
+			tally.errors.Add(1)
+		} else {
+			tally.requests.Add(^uint64(0)) // undo: the stage cut this one short
+		}
+		return false
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(begin).Seconds()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if readErr != nil {
+			if ctx.Err() == nil {
+				tally.errors.Add(1)
+			} else {
+				tally.requests.Add(^uint64(0))
+			}
+			return false
+		}
+		tally.ok.Add(1)
+		*local = append(*local, elapsed)
+		if expect != nil {
+			if want, ok := expect[q.ID]; ok && string(body) != string(want) {
+				tally.identity.Add(1)
+			}
+		}
+		return false
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		tally.shed.Add(1)
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+			tally.shedNoRA.Add(1)
+		}
+		return true
+	default:
+		tally.errors.Add(1)
+		return false
+	}
+}
+
+// newPicker returns a reproducible Zipfian query selector for one worker.
+func newPicker(cfg Config, worker int) func() int {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+	z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Queries)-1))
+	if z == nil { // single-query mix: Zipf needs imax >= 1
+		return func() int { return 0 }
+	}
+	return func() int { return int(z.Uint64()) }
+}
+
+// percentile returns the q-th percentile of sorted (ascending) samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newMixEndpoint serves two query bodies ("/a", "/b") and sheds every
+// shedEvery-th request with 429 + Retry-After.
+func newMixEndpoint(t *testing.T, shedEvery int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := n.Add(1)
+		if shedEvery > 0 && c%int64(shedEvery) == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, "body:"+r.URL.Path)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &n
+}
+
+func mixConfig(ts *httptest.Server, d time.Duration) Config {
+	return Config{
+		Queries: []Query{
+			{ID: "a", URL: ts.URL + "/a"},
+			{ID: "b", URL: ts.URL + "/b"},
+		},
+		Expect: map[string][]byte{
+			"a": []byte("body:/a"),
+			"b": []byte("body:/b"),
+		},
+		Clients:  4,
+		Duration: d,
+		Seed:     42,
+	}
+}
+
+func TestClosedLoopBasics(t *testing.T) {
+	ts, _ := newMixEndpoint(t, 0)
+	res, err := Run(mixConfig(ts, 150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed" || res.Clients != 4 {
+		t.Fatalf("mode/clients = %s/%d", res.Mode, res.Clients)
+	}
+	if res.OK == 0 || res.Requests < res.OK {
+		t.Fatalf("ok=%d requests=%d", res.OK, res.Requests)
+	}
+	if res.Errors != 0 || res.IdentityViolations != 0 {
+		t.Fatalf("errors=%d identity=%d", res.Errors, res.IdentityViolations)
+	}
+	if res.P50 <= 0 || res.P50 > res.P95 || res.P95 > res.P99 {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	if res.QPS <= 0 {
+		t.Fatalf("qps = %v", res.QPS)
+	}
+}
+
+func TestShedAccounting(t *testing.T) {
+	ts, _ := newMixEndpoint(t, 3) // every 3rd request shed, Retry-After present
+	res, err := Run(mixConfig(ts, 150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatal("no sheds recorded against a shedding endpoint")
+	}
+	if res.ShedNoRetryAfter != 0 {
+		t.Fatalf("%d sheds flagged as missing Retry-After despite the header", res.ShedNoRetryAfter)
+	}
+	if res.ShedRate <= 0 || res.ShedRate >= 1 {
+		t.Fatalf("shed rate = %v", res.ShedRate)
+	}
+}
+
+func TestShedWithoutRetryAfterFlagged(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "shed rudely", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+	cfg := Config{
+		Queries:  []Query{{ID: "a", URL: ts.URL}},
+		Clients:  2,
+		Duration: 100 * time.Millisecond,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 || res.ShedNoRetryAfter != res.Shed {
+		t.Fatalf("shed=%d noRetryAfter=%d — contract violation not detected", res.Shed, res.ShedNoRetryAfter)
+	}
+}
+
+func TestIdentityViolationDetected(t *testing.T) {
+	ts, _ := newMixEndpoint(t, 0)
+	cfg := mixConfig(ts, 100*time.Millisecond)
+	cfg.Expect["a"] = []byte("something else")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdentityViolations == 0 {
+		t.Fatal("diverging body not counted as identity violation")
+	}
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	ts, _ := newMixEndpoint(t, 0)
+	cfg := mixConfig(ts, 300*time.Millisecond)
+	cfg.RatePerSec = 100
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open" {
+		t.Fatalf("mode = %s", res.Mode)
+	}
+	// ~30 arrivals scheduled; allow wide slack for a loaded CI box.
+	if res.Requests < 5 || res.Requests > 60 {
+		t.Fatalf("requests = %d, want roughly rate*duration = 30", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+func TestZipfSkewFavorsFirstQuery(t *testing.T) {
+	var a, b atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/a" {
+			a.Add(1)
+		} else {
+			b.Add(1)
+		}
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(ts.Close)
+	cfg := Config{
+		Queries: []Query{
+			{ID: "a", URL: ts.URL + "/a"},
+			{ID: "b", URL: ts.URL + "/b"},
+		},
+		Clients:  2,
+		Duration: 200 * time.Millisecond,
+		Seed:     7,
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if a.Load() <= b.Load() {
+		t.Fatalf("zipf skew missing: a=%d b=%d", a.Load(), b.Load())
+	}
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfframes/internal/faults"
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/sparql"
+	"rdfframes/internal/store"
+)
+
+const admissionQuery = `SELECT * WHERE { ?s <http://ex/p> ?o }`
+
+// newAdmissionServer builds a caching endpoint with the given gates and a
+// fault injector wired into the engine.
+func newAdmissionServer(t *testing.T, maxInFlight int, maxCost float64) (*httptest.Server, *Server, *faults.Evals) {
+	t.Helper()
+	st := store.New()
+	for i := 0; i < 25; i++ {
+		err := st.Add(g, rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%02d", i)),
+			P: rdf.NewIRI("http://ex/p"),
+			O: rdf.NewInteger(int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := sparql.NewEngine(st)
+	eng.EnableCache(sparql.DefaultPlanCacheEntries, sparql.DefaultResultCacheRows)
+	var ev faults.Evals
+	eng.SetEvalHook(ev.Hook)
+	srv := New(eng)
+	srv.MaxInFlight = maxInFlight
+	srv.MaxQueryCost = maxCost
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, &ev
+}
+
+func statsOf(t *testing.T, ts *httptest.Server) AdmissionStats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Admission AdmissionStats `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Admission
+}
+
+// checkShedResponse asserts the contract every deliberate shed carries: the
+// expected status plus a positive integer Retry-After.
+func checkShedResponse(t *testing.T, resp *http.Response, wantStatus int) {
+	t.Helper()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", ra)
+	}
+}
+
+// TestAdmissionCapacityShed: with one slot and one slow query in flight, a
+// second request is shed with 429 + Retry-After; after release, requests
+// flow again and /stats accounts for everything.
+func TestAdmissionCapacityShed(t *testing.T) {
+	ts, _, ev := newAdmissionServer(t, 1, 0)
+	ev.SetDelay(300 * time.Millisecond)
+
+	// Distinct query texts so the slow occupant and the shed victim do not
+	// coalesce in the result cache's singleflight.
+	slow := admissionQuery
+	probe := `SELECT ?s WHERE { ?s <http://ex/p> 3 }`
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(slow))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // the slow query holds the only slot
+
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	checkShedResponse(t, resp, http.StatusTooManyRequests)
+	wg.Wait()
+
+	// Slot free again: the probe succeeds now.
+	ev.SetDelay(0)
+	resp, err = http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d", resp.StatusCode)
+	}
+
+	st := statsOf(t, ts)
+	if st.Shed[ShedCapacity] != 1 {
+		t.Fatalf("capacity sheds = %d, want 1 (stats: %+v)", st.Shed[ShedCapacity], st)
+	}
+	if st.Admitted != 2 {
+		t.Fatalf("admitted = %d, want 2", st.Admitted)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight = %d, want 0 at rest", st.InFlight)
+	}
+	if st.MaxInFlight != 1 {
+		t.Fatalf("max_in_flight = %d, want 1", st.MaxInFlight)
+	}
+}
+
+// TestAdmissionCostShed: a budget below the query's planner estimate sheds
+// it with 429 before any evaluation runs; cheap queries still pass.
+func TestAdmissionCostShed(t *testing.T) {
+	ts, srv, ev := newAdmissionServer(t, 0, 0)
+
+	// Learn the real estimate, then set the budget just under it.
+	est, ok, err := srv.Engine.EstimateCost(admissionQuery)
+	if err != nil || !ok {
+		t.Fatalf("EstimateCost: ok=%v err=%v", ok, err)
+	}
+	srv.MaxQueryCost = est - 0.5
+
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(admissionQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	checkShedResponse(t, resp, http.StatusTooManyRequests)
+	if ev.Calls() != 0 {
+		t.Fatalf("shed query still evaluated %d times", ev.Calls())
+	}
+
+	// A constant-bound probe estimates under the budget and is admitted.
+	resp, err = http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(`SELECT ?s WHERE { ?s <http://ex/p> 3 }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cheap query status = %d, want 200", resp.StatusCode)
+	}
+
+	st := statsOf(t, ts)
+	if st.Shed[ShedCost] != 1 {
+		t.Fatalf("cost sheds = %d, want 1", st.Shed[ShedCost])
+	}
+}
+
+// TestAdmissionDrainShed: after BeginDrain every query is refused with
+// 503 + Retry-After while /stats and /health stay reachable.
+func TestAdmissionDrainShed(t *testing.T) {
+	ts, srv, _ := newAdmissionServer(t, 0, 0)
+	srv.BeginDrain()
+
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(admissionQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	checkShedResponse(t, resp, http.StatusServiceUnavailable)
+
+	for _, path := range []string{"/stats", "/health"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s during drain: status = %d", path, resp.StatusCode)
+		}
+	}
+	if st := statsOf(t, ts); st.Shed[ShedDraining] != 1 || !st.Draining {
+		t.Fatalf("drain stats wrong: %+v", st)
+	}
+}
+
+// TestAdmissionUnparsableQueryStill400s: the cost gate must not change the
+// error contract for malformed queries.
+func TestAdmissionUnparsableQueryStill400s(t *testing.T) {
+	ts, srv, _ := newAdmissionServer(t, 0, 0)
+	srv.MaxQueryCost = 1
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape("SELECT WHERE {"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerCoalescedHeader: concurrent identical cold requests mark all
+// but the leader X-Cache: coalesced, and the endpoint evaluates once.
+func TestServerCoalescedHeader(t *testing.T) {
+	ts, srv, ev := newAdmissionServer(t, 0, 0)
+	ev.SetDelay(150 * time.Millisecond)
+
+	const n = 6
+	headers := make([]string, n)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(admissionQuery))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			headers[i] = resp.Header.Get("X-Cache")
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	var miss, coalesced int
+	for i := 0; i < n; i++ {
+		switch headers[i] {
+		case "miss":
+			miss++
+		case "coalesced", "hit":
+			coalesced++
+		default:
+			t.Fatalf("request %d: X-Cache = %q", i, headers[i])
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("request %d body differs", i)
+		}
+	}
+	if miss != 1 {
+		t.Fatalf("misses = %d, want exactly 1 leader", miss)
+	}
+	if got := srv.Engine.Evaluations(); got != 1 {
+		t.Fatalf("evaluations = %d, want 1", got)
+	}
+}

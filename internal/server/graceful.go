@@ -1,0 +1,97 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Conservative connection-lifecycle timeouts for the public endpoint. A
+// slow-loris client — one that opens a connection and trickles header
+// bytes forever — would otherwise pin a server goroutine per connection
+// indefinitely; these bounds make every connection's lifetime finite
+// without constraining legitimate RDFFrames clients (machine-generated
+// queries arrive in one write, and responses stream promptly).
+const (
+	// DefaultReadHeaderTimeout bounds reading the request line + headers.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultReadTimeout bounds reading the whole request including the
+	// body (POST bodies are further capped by MaxBodyBytes).
+	DefaultReadTimeout = 30 * time.Second
+	// DefaultWriteTimeout bounds writing the response; it must exceed the
+	// engine's per-query deadline or long queries are cut mid-body.
+	DefaultWriteTimeout = 3 * time.Minute
+	// DefaultIdleTimeout closes kept-alive connections with no request.
+	DefaultIdleTimeout = 2 * time.Minute
+)
+
+// NewHTTPServer returns an http.Server for addr/handler with every
+// lifecycle timeout set, so misbehaving clients cannot pin connection
+// goroutines forever. queryTimeout, when > 0, raises the write timeout to
+// comfortably exceed the engine's per-query deadline (2x + 30s) so slow
+// legitimate queries are never cut by the transport.
+func NewHTTPServer(addr string, handler http.Handler, queryTimeout time.Duration) *http.Server {
+	wt := DefaultWriteTimeout
+	if queryTimeout > 0 {
+		if candidate := 2*queryTimeout + 30*time.Second; candidate > wt {
+			wt = candidate
+		}
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      wt,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
+
+// Serve runs hs until ctx is cancelled, then shuts down gracefully:
+//
+//  1. the server enters drain mode — new queries are shed with 503 +
+//     Retry-After (so clients fail over promptly) while /health and /stats
+//     stay up for observers;
+//  2. in-flight queries get up to drainTimeout to finish and write their
+//     responses (http.Server.Shutdown);
+//  3. connections still open after the deadline are force-closed.
+//
+// ln, when non-nil, is the listener to serve on (tests use a pre-bound
+// one); otherwise hs listens on its own Addr. Serve returns nil after a
+// clean drain, the drain context's error when connections had to be
+// force-closed, or the listener's error if serving failed outright.
+func (s *Server) Serve(ctx context.Context, hs *http.Server, ln net.Listener, drainTimeout time.Duration) error {
+	if hs.Handler == nil {
+		hs.Handler = s.Handler()
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if ln != nil {
+			errc <- hs.Serve(ln)
+		} else {
+			errc <- hs.ListenAndServe()
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err // the listener died before any shutdown was requested
+	case <-ctx.Done():
+	}
+
+	s.BeginDrain()
+	s.logf("draining: refusing new queries, waiting up to %v for in-flight work", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	if err != nil {
+		// Deadline passed with connections still open: stop waiting.
+		hs.Close()
+	}
+	<-errc // hs.Serve has returned http.ErrServerClosed by now
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNewHTTPServerTimeouts is the regression test for the connection
+// lifecycle bounds: every timeout must be set, and the write timeout must
+// scale with the query deadline.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	hs := NewHTTPServer(":0", http.NewServeMux(), 0)
+	if hs.ReadHeaderTimeout != DefaultReadHeaderTimeout {
+		t.Fatalf("ReadHeaderTimeout = %v, want %v", hs.ReadHeaderTimeout, DefaultReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != DefaultReadTimeout {
+		t.Fatalf("ReadTimeout = %v, want %v", hs.ReadTimeout, DefaultReadTimeout)
+	}
+	if hs.WriteTimeout != DefaultWriteTimeout {
+		t.Fatalf("WriteTimeout = %v, want %v", hs.WriteTimeout, DefaultWriteTimeout)
+	}
+	if hs.IdleTimeout != DefaultIdleTimeout {
+		t.Fatalf("IdleTimeout = %v, want %v", hs.IdleTimeout, DefaultIdleTimeout)
+	}
+
+	// A long query deadline must push the write timeout out with it.
+	long := 10 * time.Minute
+	hs = NewHTTPServer(":0", nil, long)
+	if want := 2*long + 30*time.Second; hs.WriteTimeout != want {
+		t.Fatalf("WriteTimeout with %v queries = %v, want %v", long, hs.WriteTimeout, want)
+	}
+
+	// A short one must not pull it under the default.
+	hs = NewHTTPServer(":0", nil, time.Second)
+	if hs.WriteTimeout != DefaultWriteTimeout {
+		t.Fatalf("WriteTimeout with 1s queries = %v, want default %v", hs.WriteTimeout, DefaultWriteTimeout)
+	}
+}
+
+// TestSlowLorisConnectionClosed: a client that opens a connection and never
+// finishes its request headers is cut off by ReadHeaderTimeout instead of
+// pinning a server goroutine forever.
+func TestSlowLorisConnectionClosed(t *testing.T) {
+	ts, srv, _ := newAdmissionServer(t, 0, 0)
+	ts.Close() // rebuild with a real http.Server so lifecycle timeouts apply
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := NewHTTPServer("", srv.Handler(), 0)
+	hs.ReadHeaderTimeout = 200 * time.Millisecond
+	hs.ReadTimeout = 200 * time.Millisecond
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Trickle a partial request line and then stall.
+	if _, err := io.WriteString(conn, "GET /sparql?query="); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server must terminate the exchange well within our read deadline:
+	// an immediate close (EOF) or an error response (408 on the header
+	// timeout path, 400 when the read deadline truncates the request line)
+	// followed by a close. A timeout on our side means the loris pinned the
+	// connection goroutine indefinitely.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	data, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("server kept the half-sent connection open: %v", err)
+	}
+	if len(data) > 0 {
+		s := string(data)
+		if !strings.HasPrefix(s, "HTTP/1.1 408") && !strings.HasPrefix(s, "HTTP/1.1 400") {
+			t.Fatalf("unexpected answer to a half-sent request: %.64q", s)
+		}
+	}
+}
+
+// TestServeGracefulDrain is the shutdown e2e: with a slow query in flight,
+// cancelling the serve context (a) lets the in-flight query finish and
+// deliver its full body, (b) sheds new queries with 503 + Retry-After, and
+// (c) returns nil from Serve after a clean drain.
+func TestServeGracefulDrain(t *testing.T) {
+	ts, srv, ev := newAdmissionServer(t, 0, 0)
+	ts.Close() // use a NewHTTPServer-managed listener instead
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := NewHTTPServer("", srv.Handler(), 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ctx, hs, ln, 5*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	// Reference body for the slow query, from before the drain.
+	refResp, err := http.Get(base + "/sparql?query=" + url.QueryEscape(admissionQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := io.ReadAll(refResp.Body)
+	refResp.Body.Close()
+	if refResp.StatusCode != http.StatusOK || len(ref) == 0 {
+		t.Fatalf("reference fetch: status %d, %d bytes", refResp.StatusCode, len(ref))
+	}
+
+	// A distinct query (cold key, so the cache cannot answer it) held in
+	// flight by the fault injector while shutdown begins.
+	slow := `SELECT ?s ?o WHERE { ?s <http://ex/p> ?o } LIMIT 20`
+	ev.SetDelay(400 * time.Millisecond)
+	slowBody := make(chan []byte, 1)
+	slowStatus := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/sparql?query=" + url.QueryEscape(slow))
+		if err != nil {
+			slowStatus <- 0
+			slowBody <- nil
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		slowStatus <- resp.StatusCode
+		slowBody <- b
+	}()
+	time.Sleep(100 * time.Millisecond) // the slow query is now evaluating
+
+	cancel() // SIGINT equivalent: begin the drain
+
+	// New queries are refused while the drain runs — either with 503 +
+	// Retry-After on a surviving keep-alive connection, or at the TCP level
+	// once http.Server.Shutdown closes the listener. (The 503 + Retry-After
+	// handler contract itself is pinned by TestAdmissionDrainShed.) Poll:
+	// the drain flips asynchronously with the cancel.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(base + "/sparql?query=" + url.QueryEscape(admissionQuery))
+		if err != nil {
+			break // listener closed: new connections refused
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			checkShedResponse(t, resp, http.StatusServiceUnavailable)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain never refused new queries (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The in-flight slow query still completes with its full body.
+	if got := <-slowStatus; got != http.StatusOK {
+		t.Fatalf("in-flight query during drain: status %d, want 200", got)
+	}
+	if b := <-slowBody; len(b) == 0 {
+		t.Fatal("in-flight query delivered an empty body")
+	}
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v after a clean drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if !srv.Draining() {
+		t.Fatal("server not marked draining after shutdown")
+	}
+}
+
+// TestServeListenerError: a dead listener surfaces as Serve's error rather
+// than hanging.
+func TestServeListenerError(t *testing.T) {
+	_, srv, _ := newAdmissionServer(t, 0, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := NewHTTPServer("", srv.Handler(), 0)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(context.Background(), hs, ln, time.Second) }()
+	time.Sleep(50 * time.Millisecond)
+	ln.Close() // yank the listener out from under the server
+	select {
+	case err := <-serveErr:
+		if err == nil {
+			t.Fatal("Serve returned nil for a dead listener")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve hung on listener failure")
+	}
+}

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rdfframes/internal/rdf"
+)
+
+// TestHammerMixedLoadUnderRace drives the endpoint with everything at once
+// — a skewed query mix, capacity sheds, clients that disconnect mid-flight,
+// and a concurrent writer bumping the store version — and asserts the
+// robustness contract: every successful body is byte-identical to its
+// pre-computed reference, every shed carries Retry-After, no status other
+// than 200/429/503 appears, and no goroutines leak. Run under -race in CI.
+func TestHammerMixedLoadUnderRace(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	ts, srv, ev := newAdmissionServer(t, 4, 0)
+	client := &http.Client{}
+
+	// The query mix: distinct texts so they occupy distinct cache keys.
+	queries := []string{
+		admissionQuery,
+		`SELECT ?s WHERE { ?s <http://ex/p> 3 }`,
+		`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o } LIMIT 10`,
+		`SELECT ?o WHERE { <http://ex/s07> <http://ex/p> ?o }`,
+	}
+
+	// References from a quiet server, before any faults or writes.
+	refs := make([][]byte, len(queries))
+	for i, q := range queries {
+		resp, err := client.Get(ts.URL + "/sparql?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i], _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(refs[i]) == 0 {
+			t.Fatalf("reference %d: status %d, %d bytes", i, resp.StatusCode, len(refs[i]))
+		}
+	}
+
+	// A concurrent writer mutating a separate graph with a distinct
+	// predicate: every Add bumps the store version (invalidating cached
+	// results), but the query mix never matches these triples, so correct
+	// re-evaluations stay byte-identical to the references.
+	writerDone := make(chan struct{})
+	var writerStopped sync.WaitGroup
+	writerStopped.Add(1)
+	go func() {
+		defer writerStopped.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-writerDone:
+				return
+			default:
+			}
+			err := srv.Engine.Store.Add("http://test/writes", rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://test/w%05d", i)),
+				P: rdf.NewIRI("http://ex/written"),
+				O: rdf.NewInteger(int64(i)),
+			})
+			if err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Slow evaluations down slightly so the 4-slot semaphore actually
+	// sheds under 16 workers.
+	ev.SetDelay(3 * time.Millisecond)
+
+	const workers = 16
+	const iters = 25
+	var (
+		ok200      atomic.Uint64
+		sheds      atomic.Uint64
+		disconnect atomic.Uint64
+		badStatus  atomic.Uint64
+		mismatches atomic.Uint64
+		noRetryHdr atomic.Uint64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Zipf-ish skew without rand: low worker ids hammer query 0.
+				qi := (w * i) % (len(queries) * 2)
+				if qi >= len(queries) {
+					qi = 0
+				}
+				u := ts.URL + "/sparql?query=" + url.QueryEscape(queries[qi])
+
+				// Every 7th request disconnects mid-flight: cancel the
+				// context shortly after issuing the request.
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if (w+i)%7 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Millisecond)
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+				if err != nil {
+					t.Error(err)
+					if cancel != nil {
+						cancel()
+					}
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					// The deliberate disconnects surface here.
+					disconnect.Add(1)
+					if cancel != nil {
+						cancel()
+					}
+					continue
+				}
+				body, readErr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if cancel != nil {
+					cancel()
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if readErr != nil {
+						disconnect.Add(1) // cancelled while reading the body
+						continue
+					}
+					ok200.Add(1)
+					if !bytes.Equal(body, refs[qi]) {
+						mismatches.Add(1)
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					sheds.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						noRetryHdr.Add(1)
+					}
+				default:
+					badStatus.Add(1)
+					t.Errorf("worker %d iter %d: status %d", w, i, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(writerDone)
+	writerStopped.Wait()
+
+	t.Logf("hammer: %d ok, %d shed, %d disconnected (admission: %+v)",
+		ok200.Load(), sheds.Load(), disconnect.Load(), srv.AdmissionStats())
+
+	if mismatches.Load() != 0 {
+		t.Fatalf("%d responses diverged from the reference bodies", mismatches.Load())
+	}
+	if noRetryHdr.Load() != 0 {
+		t.Fatalf("%d sheds lacked Retry-After", noRetryHdr.Load())
+	}
+	if badStatus.Load() != 0 {
+		t.Fatalf("%d responses had a status other than 200/429/503", badStatus.Load())
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no request succeeded — the hammer measured nothing")
+	}
+	if sheds.Load() == 0 {
+		t.Fatal("no request was shed — capacity gate never engaged")
+	}
+	if st := srv.AdmissionStats(); st.InFlight != 0 {
+		t.Fatalf("in-flight = %d at rest, want 0", st.InFlight)
+	}
+
+	// Leak check: with the server closed and idle connections torn down,
+	// the goroutine count must come back to (near) the pre-test baseline.
+	// Poll with retries — conn teardown and timer goroutines exit async.
+	ev.SetDelay(0)
+	client.CloseIdleConnections()
+	ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

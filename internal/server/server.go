@@ -47,8 +47,20 @@ type Server struct {
 	// MaxBodyBytes caps the size of POST request bodies (0 = 1 MiB).
 	// Oversized bodies are rejected with 413 Request Entity Too Large.
 	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently evaluating queries (0 = unlimited).
+	// Requests beyond the bound are shed with 429 + Retry-After instead of
+	// queueing unboundedly (see admission.go).
+	MaxInFlight int
+	// MaxQueryCost, when > 0, sheds queries whose planner cost estimate
+	// (summed intermediate cardinalities, see sparql.Engine.EstimateCost)
+	// exceeds it, with 429 + Retry-After.
+	MaxQueryCost float64
+	// RetryAfter is the Retry-After hint on shed responses (0 = 1s).
+	RetryAfter time.Duration
 	// Logger, when set, records one line per request.
 	Logger *log.Logger
+
+	adm admission
 }
 
 // New returns a server over the given engine with no row cap.
@@ -100,6 +112,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
 		return
 	}
+
+	// Admission gates: drain, cost budget, in-flight capacity — shed here,
+	// before any evaluation work, with 429/503 + Retry-After (admission.go).
+	release, ok := s.admit(w, query)
+	if !ok {
+		return
+	}
+	defer release()
+
 	if explainRequested(r) {
 		s.handleExplain(w, r, query, start)
 		return
@@ -127,9 +148,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 	w.Header().Set("X-Store-Version", strconv.FormatUint(info.StoreVersion, 10))
 	if info.CacheEnabled {
-		if info.Hit {
+		switch {
+		case info.Hit:
 			w.Header().Set("X-Cache", "hit")
-		} else {
+		case info.Coalesced:
+			// Missed the cache but rode another request's in-progress
+			// evaluation of the same key (stampede protection).
+			w.Header().Set("X-Cache", "coalesced")
+		default:
 			w.Header().Set("X-Cache", "miss")
 		}
 	}
@@ -241,12 +267,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Parallelism int               `json:"parallelism"`
 		GOMAXPROCS  int               `json:"gomaxprocs"`
 		Cache       sparql.CacheStats `json:"cache"`
+		// Admission reports the load-shedding gates: in-flight and admitted
+		// queries plus per-reason shed counters (see admission.go).
+		Admission AdmissionStats `json:"admission"`
 	}
 	st := s.Engine.Store
 	out := stats{
 		Cache:       s.Engine.CacheStats(),
 		Parallelism: s.Engine.Parallelism,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Admission:   s.AdmissionStats(),
 	}
 	st.RLock()
 	out.StoreVersion = st.Version()

@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"sync"
@@ -101,6 +102,10 @@ type ServeInfo struct {
 	CacheEnabled bool
 	// Hit reports whether the response came from the result cache.
 	Hit bool
+	// Coalesced reports that the call missed the cache but joined another
+	// caller's in-progress evaluation of the same key (singleflight) rather
+	// than evaluating itself.
+	Coalesced bool
 	// StoreVersion is the store mutation epoch the response reflects.
 	StoreVersion uint64
 }
@@ -126,6 +131,9 @@ type CacheStats struct {
 	Enabled bool         `json:"enabled"`
 	Plans   qcache.Stats `json:"plans"`
 	Results qcache.Stats `json:"results"`
+	// Singleflight counts stampede-protection outcomes on result-cache
+	// misses: evaluations led vs callers coalesced onto one.
+	Singleflight FlightStats `json:"singleflight"`
 }
 
 // CacheStats returns the current cache counters (zero when disabled).
@@ -137,6 +145,7 @@ func (e *Engine) CacheStats() CacheStats {
 	if e.results != nil {
 		st.Results = e.results.Stats()
 	}
+	st.Singleflight = e.flights.stats()
 	return st
 }
 
@@ -300,32 +309,57 @@ func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit
 	}
 
 	ck := cacheKey(info.StoreVersion, e.DefaultGraphs, key)
-	if ce, ok := e.results.Get(ck); ok {
-		info.Hit = true
+	for {
+		if ce, ok := e.results.Get(ck); ok {
+			info.Hit = true
+			info.StoreVersion = ce.version
+			return ce, limit, offset, info, nil
+		}
+
+		// Miss: evaluate the normalized (unpaginated) query in one read
+		// transaction — at most once across concurrent misses of the same
+		// key (stampede protection: N concurrent cold requests coalesce
+		// into 1 evaluation, see flight.go). The evaluation runs under the
+		// flight's context, which stays live while any caller still waits,
+		// so a cancelled leader promotes its waiters instead of killing
+		// their evaluation; this caller's own ctx bounds only its wait.
+		//
+		// The version is re-read under the lock — it may have moved since
+		// the lookup, and the entry must be keyed to the state the
+		// evaluation actually saw. The plan carries over: LIMIT/OFFSET do
+		// not affect join order, and the normalized copy shares the
+		// original's group pointers the plan is keyed on.
+		lookupVersion := info.StoreVersion
+		ce, shared, err := e.flights.do(ctx, ck, func(fctx context.Context) (*cachedResult, error) {
+			e.Store.RLock()
+			version := e.Store.Version()
+			full, err := e.evalLocked(fctx, normalized, qp)
+			e.Store.RUnlock()
+			if err != nil {
+				return nil, err
+			}
+			entryKey := ck
+			if version != lookupVersion {
+				entryKey = cacheKey(version, e.DefaultGraphs, key)
+			}
+			fce := &cachedResult{version: version, res: full, key: entryKey}
+			e.results.Put(entryKey, fce, fce.cost())
+			return fce, nil
+		})
+		if err != nil {
+			if ctx.Err() == nil && errors.Is(err, context.Canceled) {
+				// Joined a flight in the instant after its last caller left
+				// (its evaluation was being aborted); this caller is still
+				// live, so retry — the next round either hits the cache or
+				// starts a fresh flight.
+				continue
+			}
+			return nil, 0, 0, info, err
+		}
+		info.Coalesced = shared
 		info.StoreVersion = ce.version
 		return ce, limit, offset, info, nil
 	}
-
-	// Miss: evaluate the normalized (unpaginated) query in one read
-	// transaction. The version is re-read under the lock — it may have
-	// moved since the lookup, and the entry must be keyed to the state the
-	// evaluation actually saw. The plan carries over: LIMIT/OFFSET do not
-	// affect join order, and the normalized copy shares the original's
-	// group pointers the plan is keyed on.
-	e.Store.RLock()
-	version := e.Store.Version()
-	full, err := e.evalLocked(ctx, normalized, qp)
-	e.Store.RUnlock()
-	if err != nil {
-		return nil, 0, 0, info, err
-	}
-	if version != info.StoreVersion {
-		ck = cacheKey(version, e.DefaultGraphs, key)
-		info.StoreVersion = version
-	}
-	ce = &cachedResult{version: version, res: full, key: ck}
-	e.results.Put(ck, ce, ce.cost())
-	return ce, limit, offset, info, nil
 }
 
 // cacheKey builds the result-cache key: store version, the engine's

@@ -1,0 +1,40 @@
+package sparql
+
+// Query cost estimation for admission control: the serving layer needs to
+// know, before admitting a query, roughly how much work it will be. The
+// cost-based planner already computes exactly that — the summed
+// intermediate-result cardinalities its join-ordering DP minimizes — so the
+// estimate here is a free by-product of planning, cached alongside the plan
+// and re-derived only when the stats epoch moves.
+
+// estimatedCost is the plan's scalar cost: the sum over every BGP segment
+// of its per-step cumulative cardinality estimates. It is the objective
+// value the optimizer minimized, so it ranks queries by expected work the
+// same way the planner ranks join orders.
+func (qp *queryPlan) estimatedCost() float64 {
+	var cost float64
+	for _, bp := range qp.bgps {
+		for _, est := range bp.est {
+			cost += est
+		}
+	}
+	return cost
+}
+
+// EstimateCost returns the planner's cost estimate for src without
+// executing it: the summed intermediate cardinalities of the optimized
+// plan, in estimated rows. ok is false when no estimate exists — the
+// optimizer is disabled, or the query is an EXPLAIN wrapper (which builds
+// its own tracked plan at execution time). Parse errors are returned as
+// err. The estimate goes through the plan cache, so on the steady-state
+// serving path it costs a cache lookup, not a planning pass.
+func (e *Engine) EstimateCost(src string) (cost float64, ok bool, err error) {
+	q, qp, err := e.planned(src)
+	if err != nil {
+		return 0, false, err
+	}
+	if qp == nil || q.Explain {
+		return 0, false, nil
+	}
+	return qp.estimatedCost(), true, nil
+}

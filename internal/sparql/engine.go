@@ -48,6 +48,22 @@ type Engine struct {
 	// normalized text). Both are nil until EnableCache (see cache.go).
 	plans   *qcache.Cache[*cachedPlan]
 	results *qcache.Cache[*cachedResult]
+
+	// flights coalesces concurrent result-cache misses on the same key into
+	// a single evaluation (stampede protection; see flight.go).
+	flights flightGroup
+
+	// evals counts evaluator runs — not cache hits, not coalesced waits —
+	// so tests and the traffic harness can assert exactly how many times a
+	// workload paid for evaluation.
+	evals atomic.Uint64
+
+	// evalHook, when set, runs at the start of every evaluation (under the
+	// store read lock, with the evaluation's context); a non-nil error
+	// aborts the evaluation. It exists for fault injection in tests — slow
+	// or failing evaluations — and is nil in production. Set via
+	// SetEvalHook.
+	evalHook atomic.Pointer[func(ctx context.Context) error]
 }
 
 // NewEngine returns an engine over st with no default-graph restriction.
@@ -60,6 +76,24 @@ func (e *Engine) SetTimeout(d time.Duration) { e.timeout.Store(int64(d)) }
 
 // Timeout returns the per-query evaluation deadline.
 func (e *Engine) Timeout() time.Duration { return time.Duration(e.timeout.Load()) }
+
+// SetEvalHook installs (or, with nil, removes) a hook run at the start of
+// every evaluation with the evaluation's context; a non-nil error aborts
+// the evaluation with that error. The hook runs under the store read lock.
+// This is the engine's fault-injection point for tests (see
+// internal/faults); production servers leave it unset. Safe to call
+// concurrently with running queries.
+func (e *Engine) SetEvalHook(h func(ctx context.Context) error) {
+	if h == nil {
+		e.evalHook.Store(nil)
+		return
+	}
+	e.evalHook.Store(&h)
+}
+
+// Evaluations returns how many times the engine has actually run its
+// evaluator — cache hits and coalesced (singleflight) waits do not count.
+func (e *Engine) Evaluations() uint64 { return e.evals.Load() }
 
 // parallelism resolves the effective worker count for one query.
 func (e *Engine) parallelism() int {
@@ -126,6 +160,12 @@ func (e *Engine) planFor(q *Query) *queryPlan {
 // evalLocked evaluates q under an already-optimized plan (nil runs the
 // greedy heuristic) with the store read lock already held.
 func (e *Engine) evalLocked(ctx context.Context, q *Query, qp *queryPlan) (*Results, error) {
+	if h := e.evalHook.Load(); h != nil {
+		if err := (*h)(ctx); err != nil {
+			return nil, err
+		}
+	}
+	e.evals.Add(1)
 	ev := &evaluator{
 		store:           e.Store,
 		dict:            newEvalDict(e.Store.Dict()),

@@ -1,0 +1,128 @@
+package sparql
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Stampede protection for the serving path: when N requests miss the result
+// cache on the same key at once (a popular query going cold after a version
+// bump, or a thundering herd at startup), evaluating N times wastes N-1
+// evaluations of identical work. A flightGroup coalesces them: the first
+// caller becomes the leader and starts exactly one evaluation; everyone
+// else waits for that evaluation's result.
+//
+// Two properties distinguish this from a textbook singleflight:
+//
+//   - The evaluation runs on its own goroutine under a context owned by the
+//     flight, not by the leader. The flight context stays live while ANY
+//     caller is still interested, so a leader whose HTTP client disconnects
+//     does not kill the evaluation the remaining waiters are depending on —
+//     cancellation of the leader implicitly promotes the waiters.
+//   - Every caller waits under its own context: a waiter that disconnects
+//     leaves the flight immediately (and only the departure of the LAST
+//     caller aborts the evaluation).
+
+// flightGroup deduplicates concurrent evaluations by key. The zero value is
+// ready to use.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	// leads counts evaluations started; waits counts callers that joined an
+	// already-running flight (the evaluations saved by coalescing).
+	leads atomic.Uint64
+	waits atomic.Uint64
+}
+
+// flight is one in-progress evaluation and the callers waiting on it.
+type flight struct {
+	fg   *flightGroup
+	key  string
+	refs int // callers still waiting; evaluation aborts when it hits 0
+	// cancel stops the evaluation's context; done closes when ce/err are set.
+	cancel context.CancelFunc
+	done   chan struct{}
+	ce     *cachedResult
+	err    error
+}
+
+// FlightStats is a snapshot of the singleflight counters.
+type FlightStats struct {
+	// Leaders is the number of evaluations actually started.
+	Leaders uint64 `json:"leaders"`
+	// Waiters is the number of callers that coalesced onto an in-progress
+	// evaluation instead of starting their own.
+	Waiters uint64 `json:"waiters"`
+}
+
+func (fg *flightGroup) stats() FlightStats {
+	return FlightStats{Leaders: fg.leads.Load(), Waiters: fg.waits.Load()}
+}
+
+// do returns the result of eval(key), starting it at most once across
+// concurrent callers of the same key. shared reports whether this caller
+// joined an evaluation another caller started. The caller's ctx bounds only
+// its own wait; the evaluation itself runs under a flight-owned context
+// cancelled when the last interested caller leaves. Note a rare edge: a
+// caller can join a flight in the instant after its last waiter left (the
+// evaluation is being aborted) and see context.Canceled even though its own
+// ctx is live — callers should retry in that case.
+func (fg *flightGroup) do(ctx context.Context, key string, eval func(ctx context.Context) (*cachedResult, error)) (ce *cachedResult, shared bool, err error) {
+	fg.mu.Lock()
+	fl, ok := fg.flights[key]
+	if ok {
+		shared = true
+		fg.waits.Add(1)
+	} else {
+		fctx, cancel := context.WithCancel(context.Background())
+		fl = &flight{fg: fg, key: key, cancel: cancel, done: make(chan struct{})}
+		if fg.flights == nil {
+			fg.flights = make(map[string]*flight)
+		}
+		fg.flights[key] = fl
+		fg.leads.Add(1)
+		go fl.run(fctx, eval)
+	}
+	fl.refs++
+	fg.mu.Unlock()
+
+	select {
+	case <-fl.done:
+		fl.leave()
+		return fl.ce, shared, fl.err
+	case <-ctx.Done():
+		fl.leave()
+		return nil, shared, ctx.Err()
+	}
+}
+
+// run executes the evaluation and publishes its result. The flight is
+// removed from the group before done closes, so late callers start a fresh
+// flight (whose cache lookup will hit if this one succeeded).
+func (fl *flight) run(fctx context.Context, eval func(ctx context.Context) (*cachedResult, error)) {
+	ce, err := eval(fctx)
+	fl.fg.mu.Lock()
+	delete(fl.fg.flights, fl.key)
+	fl.ce, fl.err = ce, err
+	fl.fg.mu.Unlock()
+	close(fl.done)
+	fl.cancel() // release the flight context's resources
+}
+
+// leave records that one caller is no longer interested; the last departure
+// before completion aborts the evaluation.
+func (fl *flight) leave() {
+	fl.fg.mu.Lock()
+	fl.refs--
+	abort := fl.refs == 0
+	fl.fg.mu.Unlock()
+	if abort {
+		select {
+		case <-fl.done: // already finished; nothing to abort
+		default:
+			fl.cancel()
+		}
+	}
+}
