@@ -25,6 +25,18 @@
 // to be present in the fresh report — a missing section means the harness
 // silently dropped a workload and is a hard failure.
 //
+// -metrics switches benchcheck into a second mode: instead of diffing
+// reports it validates a scraped Prometheus /metrics text file (exit 1 on
+// failure):
+//
+//	benchcheck -metrics /tmp/metrics.prom
+//
+// The file must parse as text exposition format, contain every required
+// rdfframes metric family (engine, serving layer, and Go runtime), and
+// have no NaN or negative cumulative values — the invariants a scrape of a
+// healthy server upholds by construction, so a violation means the
+// observability wiring regressed.
+//
 // Timing deltas between the reports are always printed as warnings only:
 // the bench boxes are shared single cores, and wall-clock noise is not a
 // regression.
@@ -34,10 +46,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strings"
 
 	"rdfframes/internal/bench"
+	"rdfframes/internal/obs"
 )
 
 func main() {
@@ -46,7 +61,24 @@ func main() {
 	warnRatio := flag.Float64("warn-ratio", 3, "warn when a shared measurement's timing ratio exceeds this (either direction)")
 	strict := flag.Bool("strict", false, "missing -sections entries become hard failures")
 	sections := flag.String("sections", "", "comma-separated sections the fresh report must contain under -strict (e.g. 5,serving,parallel,planner)")
+	metricsPath := flag.String("metrics", "", "validate a scraped Prometheus /metrics text file instead of diffing reports")
 	flag.Parse()
+
+	if *metricsPath != "" {
+		problems, err := checkMetricsFile(*metricsPath)
+		if err != nil {
+			fail("reading metrics file: %v", err)
+		}
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("benchcheck: metrics scrape is structurally sound")
+		return
+	}
+
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -fresh is required")
 		os.Exit(2)
@@ -110,6 +142,94 @@ func checkSections(fresh *bench.JSONReport, sections string) []string {
 		}
 	}
 	return problems
+}
+
+// requiredMetricFamilies is the contract a scrape of a healthy server must
+// cover: the engine's counters and gauges, the serving-layer instruments,
+// and the Go runtime gauges. All are registered unconditionally by
+// EnableMetrics/RegisterRuntimeMetrics, so a missing family means the
+// wiring regressed, not that the feature was off.
+var requiredMetricFamilies = []string{
+	// engine
+	"rdfframes_cache_hits_total",
+	"rdfframes_cache_misses_total",
+	"rdfframes_cache_evictions_total",
+	"rdfframes_cache_entries",
+	"rdfframes_cache_cost",
+	"rdfframes_cache_budget",
+	"rdfframes_cache_enabled",
+	"rdfframes_singleflight_total",
+	"rdfframes_evaluations_total",
+	"rdfframes_store_version",
+	"rdfframes_stats_epoch",
+	"rdfframes_store_triples",
+	"rdfframes_store_graphs",
+	"rdfframes_parallelism",
+	// serving layer
+	"rdfframes_query_seconds",
+	"rdfframes_query_task_seconds",
+	"rdfframes_http_requests_total",
+	"rdfframes_traces_total",
+	"rdfframes_admission_shed_total",
+	"rdfframes_admitted_total",
+	"rdfframes_in_flight",
+	"rdfframes_draining",
+	"rdfframes_max_in_flight",
+	"rdfframes_max_query_cost",
+	"rdfframes_slowlog_entries_total",
+	"rdfframes_slowlog_dropped_total",
+	// runtime
+	"rdfframes_goroutines",
+	"rdfframes_gomaxprocs",
+	"rdfframes_heap_alloc_bytes",
+	"rdfframes_heap_sys_bytes",
+	"rdfframes_heap_objects",
+	"rdfframes_gc_runs_total",
+	"rdfframes_gc_pause_seconds_total",
+	"rdfframes_alloc_bytes_total",
+}
+
+// checkMetricsFile validates a scraped /metrics text file: it must parse,
+// cover every required family, and contain no NaN, infinite, or negative
+// cumulative values.
+func checkMetricsFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	samples, types, err := obs.ParseText(f)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	if len(samples) == 0 {
+		problems = append(problems, "metrics file has no samples")
+	}
+	for _, fam := range requiredMetricFamilies {
+		if _, ok := types[fam]; !ok {
+			problems = append(problems, fmt.Sprintf("required metric family %s missing", fam))
+		}
+	}
+	for name, v := range samples {
+		if math.IsNaN(v) {
+			problems = append(problems, fmt.Sprintf("%s is NaN", name))
+			continue
+		}
+		if math.IsInf(v, 0) {
+			problems = append(problems, fmt.Sprintf("%s is infinite", name))
+			continue
+		}
+		switch types[obs.FamilyOf(name)] {
+		case obs.TypeCounter, obs.TypeHistogram:
+			if v < 0 {
+				problems = append(problems, fmt.Sprintf("cumulative series %s is negative (%g)", name, v))
+			}
+		}
+	}
+	sort.Strings(problems) // map iteration order must not leak into output
+	return problems, nil
 }
 
 func readReport(path string) (*bench.JSONReport, error) {

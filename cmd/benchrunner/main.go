@@ -18,6 +18,7 @@
 //	benchrunner -verify         # also verify result equality across approaches
 //	benchrunner -digest out.txt # print per-query result digests and exit
 //	benchrunner -explain        # print optimized EXPLAIN plans and exit
+//	benchrunner -fig traffic -slowlog slow.jsonl -slowlog-threshold 50ms
 //
 // -fig serving runs the repeated-query serving workload: every Figure-5
 // query issued over HTTP cold (no cache) and warm (plan + result caches),
@@ -57,6 +58,7 @@ import (
 
 	"rdfframes/internal/bench"
 	"rdfframes/internal/datagen"
+	"rdfframes/internal/obs"
 	"rdfframes/internal/snapshot"
 	"rdfframes/internal/store"
 )
@@ -93,6 +95,8 @@ func main() {
 		parallel  = flag.Int("parallel", 4, "intra-query morsel workers for the engine and the parallel figure (0 = GOMAXPROCS, 1 = serial)")
 		digest    = flag.String("digest", "", "write per-query Figure-5 result digests to this file and exit (for determinism checks)")
 		explain   = flag.Bool("explain", false, "print the optimized EXPLAIN plan of every Figure-5 query and exit")
+		slowPath  = flag.String("slowlog", "", "arm a slow-query log on the traffic figure's endpoint, appending JSON lines to this file (- = stderr, empty = off)")
+		slowThr   = flag.Duration("slowlog-threshold", 100*time.Millisecond, "latency at or above which a traffic-figure query lands in -slowlog")
 	)
 	flag.Parse()
 
@@ -147,8 +151,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "all approaches agree on all tasks")
 	}
 
+	slowLog, slowClose, err := openSlowLog(*slowPath, *slowThr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer slowClose()
+
 	report := &bench.JSONReport{Scale: scaleName, BestOf: *bestOf}
 	for _, fig := range strings.Split(*figFlag, ",") {
+		// Snapshot the environment registry around every figure so the
+		// report attributes counter movement (cache hits, evaluations, HTTP
+		// outcomes) to the workload that caused it. Workloads that build
+		// their own endpoint leave the environment's counters still; their
+		// delta is empty and the report omits it.
+		metricsBefore := env.SnapshotMetrics()
 		switch strings.TrimSpace(fig) {
 		case "storage":
 			fmt.Fprintln(os.Stderr, "measuring storage lifecycle (parse vs snapshot reopen)...")
@@ -188,7 +204,7 @@ func main() {
 			if scale == bench.ScaleBench {
 				stage, ramp = trafficBenchStage, trafficBenchRamp
 			}
-			rep, err := bench.MeasureTraffic(env, stage, ramp, trafficStampedeWidth, *timeout)
+			rep, err := bench.MeasureTraffic(env, stage, ramp, trafficStampedeWidth, *timeout, slowLog)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -213,6 +229,7 @@ func main() {
 		default:
 			log.Fatalf("unknown figure %q", fig)
 		}
+		report.AddMetricsDelta(strings.TrimSpace(fig), metricsBefore, env.SnapshotMetrics())
 	}
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -270,6 +287,23 @@ func printExplains(env *bench.Env) error {
 		fmt.Printf("== %s (%s)\n%s\n", task.ID, task.Name, rep.Text())
 	}
 	return nil
+}
+
+// openSlowLog resolves the -slowlog flag: empty disables, "-" writes to
+// stderr, anything else appends JSON lines to the named file. The returned
+// closer is a no-op unless a file was opened.
+func openSlowLog(path string, threshold time.Duration) (*obs.SlowLog, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	if path == "-" {
+		return obs.NewSlowLog(os.Stderr, threshold), func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening slow-query log %s: %w", path, err)
+	}
+	return obs.NewSlowLog(f, threshold), func() { f.Close() }, nil
 }
 
 // buildEnv sets up the benchmark environment from one of three sources: a

@@ -12,6 +12,13 @@
 //	rdfframes-server -load http://g1=dump1.nt -write-snapshot data.snap ...
 //	rdfframes-server -maxrows 10000 -timeout 30s ...
 //	rdfframes-server -max-inflight 64 -max-cost 1e7 -drain 30s ...
+//	rdfframes-server -debug-addr :6060 -slowlog slow.jsonl -slowlog-threshold 100ms ...
+//
+// Observability: /metrics (Prometheus text) and /stats (JSON) render the
+// same counters; ?trace=1 on /sparql returns a per-stage trace annex;
+// -slowlog records queries over -slowlog-threshold as JSON lines; and
+// -debug-addr starts a separate listener with net/http/pprof, /metrics,
+// and /stats for operators.
 //
 // -snapshot opens a store persisted by -write-snapshot (or by datagen
 // -snapshot) in milliseconds instead of re-parsing text; combine
@@ -29,7 +36,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"rdfframes/internal/datagen"
+	"rdfframes/internal/obs"
 	"rdfframes/internal/server"
 	"rdfframes/internal/snapshot"
 	"rdfframes/internal/sparql"
@@ -64,6 +75,9 @@ func main() {
 		inflight  = flag.Int("max-inflight", 0, "max concurrently evaluating queries (0 = unlimited); excess requests are shed with 429 + Retry-After")
 		maxCost   = flag.Float64("max-cost", 0, "per-query planner cost budget in estimated intermediate rows (0 = unlimited); pricier queries are shed with 429")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
+		debugAddr = flag.String("debug-addr", "", "separate listener for operator surfaces: net/http/pprof plus /metrics and /stats (empty = off)")
+		slowLog   = flag.String("slowlog", "", "append slow queries as JSON lines to this file (- = stderr, empty = off)")
+		slowThr   = flag.Duration("slowlog-threshold", 250*time.Millisecond, "latency at or above which a query lands in -slowlog")
 		loads     loadFlags
 	)
 	flag.Var(&loads, "load", "graphURI=file.nt pair to load (repeatable)")
@@ -135,6 +149,43 @@ func main() {
 	srv.MaxInFlight = *inflight
 	srv.MaxQueryCost = *maxCost
 	srv.Logger = log.Default()
+
+	// Observability: one registry backs /metrics, the runtime gauges, and
+	// the /stats blocks (same atomics, read through at render time).
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	srv.EnableMetrics(reg)
+	if *slowLog != "" {
+		w := io.Writer(os.Stderr)
+		if *slowLog != "-" {
+			f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("opening slow-query log %s: %v", *slowLog, err)
+			}
+			defer f.Close()
+			w = f
+		}
+		srv.SetSlowLog(obs.NewSlowLog(w, *slowThr))
+		log.Printf("slow-query log on: %s (threshold %v)", *slowLog, *slowThr)
+	}
+	if *debugAddr != "" {
+		// pprof and the operator read-only surfaces live on their own
+		// listener so they can be firewalled separately from query traffic.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", reg.Handler())
+		dmux.Handle("/stats", srv.Handler())
+		go func() {
+			log.Printf("debug listener on %s (pprof, /metrics, /stats)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	for _, uri := range st.GraphURIs() {
 		log.Printf("graph <%s>: %d triples", uri, st.Graph(uri).Len())

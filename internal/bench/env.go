@@ -20,6 +20,7 @@ import (
 	"rdfframes/internal/core"
 	"rdfframes/internal/dataframe"
 	"rdfframes/internal/datagen"
+	"rdfframes/internal/obs"
 	"rdfframes/internal/rdf"
 	"rdfframes/internal/server"
 	"rdfframes/internal/sparql"
@@ -32,9 +33,13 @@ import (
 // pays the serialization cost of the data it moves), plus the serialized
 // dumps the rdflib-style baseline parses.
 type Env struct {
-	Store   *store.Store
-	Engine  *sparql.Engine
-	Client  client.Client // HTTP client against Endpoint, with pagination
+	Store  *store.Store
+	Engine *sparql.Engine
+	Client client.Client // HTTP client against Endpoint, with pagination
+	// Metrics backs the environment's endpoint: engine and serving-layer
+	// instruments accumulate here across every figure, so the harness can
+	// snapshot counter movement around each workload.
+	Metrics *obs.Registry
 	Triples map[string][]rdf.Triple
 	// NTriples holds each graph serialized as N-Triples; the scan baseline
 	// parses it on every run, as an ad-hoc rdflib script would.
@@ -55,6 +60,29 @@ func (e *Env) Close() {
 	if e.srv != nil {
 		e.srv.Close()
 	}
+}
+
+// SnapshotMetrics flattens the environment registry's cumulative series —
+// counters, plus histogram _sum/_count — into a name -> value sample.
+// Taking one before and one after a figure run yields the counter movement
+// that run caused. Gauges are skipped: a delta of an instantaneous value
+// (heap size, in-flight queries) is noise, not attribution.
+func (e *Env) SnapshotMetrics() MetricsSample {
+	if e.Metrics == nil {
+		return MetricsSample{}
+	}
+	return snapshotCounters(e.Metrics)
+}
+
+// snapshotCounters flattens a registry's cumulative series into a sample.
+func snapshotCounters(reg *obs.Registry) MetricsSample {
+	s := MetricsSample{}
+	reg.Each(func(name string, typ obs.MetricType, value float64) {
+		if typ == obs.TypeCounter {
+			s[name] = value
+		}
+	})
+	return s
 }
 
 // Scale selects dataset sizes.
@@ -122,6 +150,8 @@ func newEnv(st *store.Store, triples map[string][]rdf.Triple) (*Env, error) {
 	}
 	eng := sparql.NewEngine(st)
 	srv := server.New(eng)
+	reg := obs.NewRegistry()
+	srv.EnableMetrics(reg)
 	ts := httptest.NewServer(srv.Handler())
 	endpoint := ts.URL + "/sparql"
 	httpClient := client.NewHTTPClient(endpoint, 100000)
@@ -130,6 +160,7 @@ func newEnv(st *store.Store, triples map[string][]rdf.Triple) (*Env, error) {
 		Store:    st,
 		Engine:   eng,
 		Client:   httpClient,
+		Metrics:  reg,
 		Triples:  triples,
 		NTriples: nt,
 		Endpoint: endpoint,

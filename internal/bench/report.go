@@ -203,6 +203,37 @@ type JSONReport struct {
 	// Traffic holds the multi-client load numbers (admission control,
 	// shedding, stampede protection) when benchrunner measured them.
 	Traffic *TrafficReport `json:"traffic,omitempty"`
+	// Metrics holds per-figure counter deltas scraped off the benchmark
+	// environment's registry — cache hits, evaluations, HTTP outcomes —
+	// attributing engine work to the workload that caused it.
+	Metrics []FigureMetrics `json:"metrics,omitempty"`
+}
+
+// MetricsSample is a flat series-name -> value snapshot of a registry's
+// cumulative series (counters and histogram _sum/_count).
+type MetricsSample map[string]float64
+
+// FigureMetrics is the movement of the environment's cumulative metrics
+// across one figure run: after minus before, zero-delta series dropped.
+type FigureMetrics struct {
+	Figure string        `json:"figure"`
+	Delta  MetricsSample `json:"delta"`
+}
+
+// AddMetricsDelta records the counter movement between two snapshots under
+// the figure's name. Series that did not move are dropped; an entirely
+// still registry adds nothing.
+func (r *JSONReport) AddMetricsDelta(figure string, before, after MetricsSample) {
+	delta := MetricsSample{}
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			delta[name] = d
+		}
+	}
+	if len(delta) == 0 {
+		return
+	}
+	r.Metrics = append(r.Metrics, FigureMetrics{Figure: figure, Delta: delta})
 }
 
 // Add appends every measurement of the figure's rows to the report.

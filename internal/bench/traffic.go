@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rdfframes/internal/loadgen"
+	"rdfframes/internal/obs"
 	"rdfframes/internal/server"
 	"rdfframes/internal/sparql"
 )
@@ -68,6 +69,12 @@ type TrafficReport struct {
 
 	// Admission is the endpoint's final admission-stats snapshot.
 	Admission server.AdmissionStats `json:"admission"`
+
+	// Metrics is the final cumulative-counter snapshot of the traffic
+	// endpoint's registry. The endpoint is fresh per run, so these are the
+	// run's totals: HTTP outcomes by code, cache hits/misses, singleflight
+	// roles, evaluations, slow-log entries.
+	Metrics MetricsSample `json:"metrics,omitempty"`
 }
 
 // trafficZipfS is the mix skew: with 15 queries, the top query draws
@@ -82,7 +89,10 @@ const trafficZipfS = 1.3
 // with sheds, not errors), then the stampede check on a fresh endpoint.
 // stageDur is the wall-clock length of each load stage; ramp the
 // closed-loop client counts; stampedeClients the width of the stampede.
-func MeasureTraffic(env *Env, stageDur time.Duration, ramp []int, stampedeClients int, timeout time.Duration) (*TrafficReport, error) {
+// slow, when non-nil, arms the endpoint's slow-query log for the duration
+// of the run — under an overload ramp it captures exactly the queries
+// whose latency the shed gates were protecting.
+func MeasureTraffic(env *Env, stageDur time.Duration, ramp []int, stampedeClients int, timeout time.Duration, slow *obs.SlowLog) (*TrafficReport, error) {
 	if len(ramp) == 0 {
 		ramp = []int{1, 8, 32}
 	}
@@ -98,6 +108,11 @@ func MeasureTraffic(env *Env, stageDur time.Duration, ramp []int, stampedeClient
 	// keep the engine busy, small enough that the ramp's upper stages
 	// overcommit it and capacity shedding actually engages.
 	srv.MaxInFlight = 2*runtime.GOMAXPROCS(0) + 2
+	treg := obs.NewRegistry()
+	srv.EnableMetrics(treg)
+	if slow != nil {
+		srv.SetSlowLog(slow)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	endpoint := ts.URL + "/sparql"
@@ -201,6 +216,7 @@ func MeasureTraffic(env *Env, stageDur time.Duration, ramp []int, stampedeClient
 	}
 
 	rep.Admission = srv.AdmissionStats()
+	rep.Metrics = snapshotCounters(treg)
 
 	// Stampede: a fresh caching endpoint (cold result cache), N concurrent
 	// identical requests, exactly one evaluation, identical bodies.

@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
+
+	"rdfframes/internal/obs"
 )
 
 // TestMeasureTrafficSmall runs the full traffic benchmark at test scale and
@@ -16,7 +20,12 @@ func TestMeasureTrafficSmall(t *testing.T) {
 	}
 	defer env.Close()
 
-	rep, err := MeasureTraffic(env, 150*time.Millisecond, []int{2, 8}, 8, 30*time.Second)
+	// Arm a slow log at threshold 0 so every completed query writes a line:
+	// the run should produce valid JSON-lines output with no drops.
+	var slowBuf bytes.Buffer
+	slow := obs.NewSlowLog(&slowBuf, 0)
+
+	rep, err := MeasureTraffic(env, 150*time.Millisecond, []int{2, 8}, 8, 30*time.Second, slow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,5 +75,45 @@ func TestMeasureTrafficSmall(t *testing.T) {
 
 	if out := FormatTraffic(rep); out == "" {
 		t.Fatal("empty traffic rendering")
+	}
+
+	// Metrics snapshot: the run's totals must be present and agree with the
+	// load generator's own accounting where the two observe the same event.
+	if len(rep.Metrics) == 0 {
+		t.Fatal("traffic report has no metrics snapshot")
+	}
+	var ok200 uint64
+	for _, st := range rep.Stages {
+		ok200 += st.OK
+	}
+	// The reference fetches (one per query) and stampede run on the same
+	// endpoint family but the references happen before the stages; the 200
+	// counter includes them, so it must be >= the stages' total.
+	if got := rep.Metrics[`rdfframes_http_requests_total{code="200"}`]; got < float64(ok200) {
+		t.Fatalf("metrics 200s = %v, stages saw %d", got, ok200)
+	}
+
+	// Slow log armed at threshold 0: every line must be valid JSON with the
+	// fields the schema promises, and nothing may have been dropped.
+	if slow.Dropped() != 0 {
+		t.Fatalf("slow log dropped %d entries", slow.Dropped())
+	}
+	if slow.Entries() == 0 {
+		t.Fatal("slow log recorded nothing despite a zero threshold")
+	}
+	dec := json.NewDecoder(&slowBuf)
+	var lines uint64
+	for dec.More() {
+		var e obs.SlowEntry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("slow log line %d: %v", lines+1, err)
+		}
+		if e.RequestID == "" || e.Time == "" {
+			t.Fatalf("slow log line %d missing identity: %+v", lines+1, e)
+		}
+		lines++
+	}
+	if lines != slow.Entries() {
+		t.Fatalf("slow log wrote %d lines but counted %d", lines, slow.Entries())
 	}
 }

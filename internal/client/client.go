@@ -13,8 +13,10 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
+	"rdfframes/internal/obs"
 	"rdfframes/internal/sparql"
 )
 
@@ -51,6 +53,57 @@ type HTTPClient struct {
 	// that abandon long-running work (the bench harness's wall-clock
 	// cutoff) cancel it so abandoned queries do not run to completion.
 	Context context.Context
+
+	// stats records the outcome of the most recent chunk fetch (see
+	// LastStats). Allocated by NewHTTPClient and shared by WithContext
+	// copies; nil (a literal-constructed client) disables recording.
+	stats *clientStats
+}
+
+// RequestStats describes the most recent chunk fetch the client performed:
+// how many attempts it took, the last Retry-After hint the endpoint sent,
+// the X-Request-ID the fetch carried (generated per chunk, reused across
+// its retries, and echoed by the server — grep server logs and the
+// slow-query log for it), and the final HTTP status.
+type RequestStats struct {
+	// Attempts is the number of HTTP attempts the fetch used (1 = first
+	// try succeeded).
+	Attempts int
+	// RetryAfter is the last Retry-After hint observed (0 = none seen).
+	RetryAfter time.Duration
+	// RequestID is the X-Request-ID header the fetch sent and the server
+	// echoed.
+	RequestID string
+	// Status is the final attempt's HTTP status (0 = transport error).
+	Status int
+}
+
+// clientStats holds LastStats behind its own lock so WithContext's shallow
+// copy shares the record instead of copying a mutex.
+type clientStats struct {
+	mu   sync.Mutex
+	last RequestStats
+}
+
+// LastStats returns the outcome of the client's most recent chunk fetch.
+// Paginated Selects overwrite it per chunk, so after a Select it describes
+// the final chunk. Zero for a client not built via NewHTTPClient.
+func (c *HTTPClient) LastStats() RequestStats {
+	if c.stats == nil {
+		return RequestStats{}
+	}
+	c.stats.mu.Lock()
+	defer c.stats.mu.Unlock()
+	return c.stats.last
+}
+
+func (c *HTTPClient) recordStats(rs RequestStats) {
+	if c.stats == nil {
+		return
+	}
+	c.stats.mu.Lock()
+	c.stats.last = rs
+	c.stats.mu.Unlock()
 }
 
 // WithContext returns a shallow copy of the client whose requests are
@@ -72,7 +125,7 @@ func (c *HTTPClient) context() context.Context {
 // NewHTTPClient returns a client for the endpoint with pagination enabled
 // at the given page size.
 func NewHTTPClient(endpoint string, pageSize int) *HTTPClient {
-	return &HTTPClient{Endpoint: endpoint, PageSize: pageSize}
+	return &HTTPClient{Endpoint: endpoint, PageSize: pageSize, stats: &clientStats{}}
 }
 
 func (c *HTTPClient) httpClient() *http.Client {
@@ -162,6 +215,10 @@ func (c *HTTPClient) retryPolicy() RetryPolicy {
 
 func (c *HTTPClient) fetch(query string) (*sparql.Results, bool, error) {
 	pol := c.retryPolicy()
+	// One request id per chunk, reused across its retries, so all attempts
+	// of this fetch correlate to one line group in the server's logs.
+	rs := RequestStats{RequestID: obs.NewRequestID()}
+	defer func() { c.recordStats(rs) }()
 	var lastErr error
 	var hint time.Duration
 	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
@@ -175,7 +232,12 @@ func (c *HTTPClient) fetch(query string) (*sparql.Results, bool, error) {
 			// The caller abandoned the work; retrying cannot succeed.
 			return nil, false, err
 		}
-		res, truncated, ri, err := c.fetchOnce(query)
+		rs.Attempts = attempt
+		res, truncated, ri, err := c.fetchOnce(query, rs.RequestID)
+		rs.Status = ri.status
+		if ri.retryAfter > 0 {
+			rs.RetryAfter = ri.retryAfter
+		}
 		if err == nil {
 			return res, truncated, nil
 		}
@@ -188,7 +250,7 @@ func (c *HTTPClient) fetch(query string) (*sparql.Results, bool, error) {
 	return nil, false, fmt.Errorf("client: giving up after retries: %w", lastErr)
 }
 
-func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated bool, ri retryInfo, err error) {
+func (c *HTTPClient) fetchOnce(query, reqID string) (res *sparql.Results, truncated bool, ri retryInfo, err error) {
 	var req *http.Request
 	if c.UsePost {
 		form := url.Values{"query": {query}}
@@ -204,6 +266,7 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated boo
 	if err != nil {
 		return nil, false, retryInfo{}, err
 	}
+	req.Header.Set("X-Request-ID", reqID)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		// A cancelled context is the caller's decision, not a transient
@@ -217,8 +280,9 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated boo
 		// 5xx is transient; so is 429 — an admission-controlled endpoint
 		// shedding load expects the client back after its Retry-After.
 		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
-		return nil, false, retryInfo{retryable: retryable, retryAfter: retryAfterHint(resp)}, err
+		return nil, false, retryInfo{retryable: retryable, retryAfter: retryAfterHint(resp), status: resp.StatusCode}, err
 	}
+	ri.status = resp.StatusCode
 	// Go's default transport negotiates and decompresses gzip by itself
 	// (and then hides the header); a Content-Encoding that is still
 	// visible means a custom client or explicit Accept-Encoding was used,
@@ -227,7 +291,7 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated boo
 	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
 		gz, err := gzip.NewReader(resp.Body)
 		if err != nil {
-			return nil, false, retryInfo{retryable: true}, fmt.Errorf("client: gzip response: %w", err)
+			return nil, false, retryInfo{retryable: true, status: resp.StatusCode}, fmt.Errorf("client: gzip response: %w", err)
 		}
 		defer gz.Close()
 		body = gz
@@ -236,9 +300,9 @@ func (c *HTTPClient) fetchOnce(query string) (res *sparql.Results, truncated boo
 	if err != nil {
 		// Covers both malformed JSON and bodies cut mid-stream by a
 		// dropped connection: the next attempt re-fetches the whole chunk.
-		return nil, false, retryInfo{retryable: true}, fmt.Errorf("client: decoding results: %w", err)
+		return nil, false, retryInfo{retryable: true, status: resp.StatusCode}, fmt.Errorf("client: decoding results: %w", err)
 	}
-	return r, resp.Header.Get("X-Truncated") == "true", retryInfo{}, nil
+	return r, resp.Header.Get("X-Truncated") == "true", ri, nil
 }
 
 // Explain asks the endpoint for the query's optimized execution plan

@@ -86,11 +86,13 @@ func (p RetryPolicy) delay(retryNum int, retryAfter time.Duration) time.Duration
 	return d
 }
 
-// retryInfo is fetchOnce's verdict on a failed attempt: whether it is
-// worth retrying and how long the server asked us to wait.
+// retryInfo is fetchOnce's verdict on one attempt: whether a failure is
+// worth retrying, how long the server asked us to wait, and the HTTP
+// status observed (0 = transport error before any response).
 type retryInfo struct {
 	retryable  bool
 	retryAfter time.Duration
+	status     int
 }
 
 // retryAfterHint parses a response's Retry-After header (delay-seconds

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLastStatsAcrossRetries: a fetch that is shed once and then succeeds
+// must report both attempts, the Retry-After hint it honored, the final
+// status, and one X-Request-ID carried verbatim across every attempt — the
+// correlation handle for grepping the server's slow-query log.
+func TestLastStatsAcrossRetries(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		seen []string
+	)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		mu.Lock()
+		seen = append(seen, id)
+		first := len(seen) == 1
+		mu.Unlock()
+		if first {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		w.Write([]byte(`{"head":{"vars":["s"]},"results":{"bindings":[]}}`))
+	}))
+	defer srv.Close()
+
+	c := NewHTTPClient(srv.URL, 0)
+	c.Retry = &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -1}
+	if _, err := c.Select("SELECT * WHERE { ?s ?p ?o }"); err != nil {
+		t.Fatal(err)
+	}
+
+	rs := c.LastStats()
+	if rs.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", rs.Attempts)
+	}
+	if rs.Status != http.StatusOK {
+		t.Errorf("status = %d, want 200", rs.Status)
+	}
+	if rs.RetryAfter != time.Second {
+		t.Errorf("retry-after = %v, want 1s", rs.RetryAfter)
+	}
+	if len(rs.RequestID) != 16 {
+		t.Errorf("request id %q, want 16 hex chars", rs.RequestID)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("server saw %d attempts, want 2", len(seen))
+	}
+	if seen[0] != rs.RequestID || seen[1] != rs.RequestID {
+		t.Errorf("request id not reused across retries: sent %v, stats say %q", seen, rs.RequestID)
+	}
+}
+
+// TestLastStatsSharedByWithContext: the context-scoped shallow copy must
+// share the stats record with its parent — a fetch through the copy is
+// visible via the original's LastStats.
+func TestLastStatsSharedByWithContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"head":{"vars":["s"]},"results":{"bindings":[]}}`))
+	}))
+	defer srv.Close()
+
+	parent := NewHTTPClient(srv.URL, 0)
+	scoped := parent.WithContext(context.Background())
+	if _, err := scoped.Select("SELECT * WHERE { ?s ?p ?o }"); err != nil {
+		t.Fatal(err)
+	}
+	if rs := parent.LastStats(); rs.Attempts != 1 || rs.Status != http.StatusOK {
+		t.Fatalf("parent did not observe the scoped fetch: %+v", rs)
+	}
+}
+
+// TestLastStatsZeroValueClient: a hand-built client (no NewHTTPClient, so
+// no stats record) must return zeros, not panic.
+func TestLastStatsZeroValueClient(t *testing.T) {
+	c := &HTTPClient{}
+	if rs := c.LastStats(); rs != (RequestStats{}) {
+		t.Fatalf("zero-value client reported stats: %+v", rs)
+	}
+}

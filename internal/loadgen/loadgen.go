@@ -20,11 +20,12 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rdfframes/internal/obs"
 )
 
 // Query is one entry in the generated mix.
@@ -91,9 +92,12 @@ type Result struct {
 	ShedRate float64 `json:"shed_rate"`
 }
 
-// counters collects the shared tallies; latencies merge per worker.
+// counters collects the shared tallies; latency is the shared histogram
+// every worker observes into (atomic, no merge step).
 type counters struct {
 	requests, ok, shed, shedNoRA, errors, identity atomic.Uint64
+
+	latency *obs.Histogram
 }
 
 // Run executes one load stage and aggregates its results.
@@ -119,21 +123,19 @@ func Run(cfg Config) (*Result, error) {
 	defer cancel()
 
 	var tally counters
-	var mu sync.Mutex
-	var latencies []float64
-
-	record := func(local []float64) {
-		mu.Lock()
-		latencies = append(latencies, local...)
-		mu.Unlock()
-	}
+	// One shared latency histogram: Observe is a pair of atomic adds, so
+	// workers record into it directly with no per-worker slices, no merge
+	// step, and no sort at the end. The same histogram code backs the
+	// server's /metrics, so loadgen percentiles and server-side percentiles
+	// are computed identically.
+	tally.latency = obs.NewHistogram(nil)
 
 	start := time.Now()
 	var res *Result
 	if cfg.RatePerSec > 0 {
-		res = runOpen(ctx, cfg, hc, &tally, record)
+		res = runOpen(ctx, cfg, hc, &tally)
 	} else {
-		res = runClosed(ctx, cfg, hc, &tally, record)
+		res = runClosed(ctx, cfg, hc, &tally)
 	}
 	res.Seconds = time.Since(start).Seconds()
 
@@ -149,16 +151,15 @@ func Run(cfg Config) (*Result, error) {
 	if res.Requests > 0 {
 		res.ShedRate = float64(res.Shed) / float64(res.Requests)
 	}
-	sort.Float64s(latencies)
-	res.P50 = percentile(latencies, 0.50)
-	res.P95 = percentile(latencies, 0.95)
-	res.P99 = percentile(latencies, 0.99)
+	res.P50 = tally.latency.Quantile(0.50)
+	res.P95 = tally.latency.Quantile(0.95)
+	res.P99 = tally.latency.Quantile(0.99)
 	return res, nil
 }
 
 // runClosed starts cfg.Clients workers, each looping request-by-request
 // until the stage context expires.
-func runClosed(ctx context.Context, cfg Config, hc *http.Client, tally *counters, record func([]float64)) *Result {
+func runClosed(ctx context.Context, cfg Config, hc *http.Client, tally *counters) *Result {
 	clients := cfg.Clients
 	if clients < 1 {
 		clients = 1
@@ -169,15 +170,12 @@ func runClosed(ctx context.Context, cfg Config, hc *http.Client, tally *counters
 		go func(w int) {
 			defer wg.Done()
 			pick := newPicker(cfg, w)
-			local := make([]float64, 0, 1024)
 			for ctx.Err() == nil {
 				q := &cfg.Queries[pick()]
-				shed := doOne(ctx, hc, q, cfg.Expect, tally, &local)
-				if shed {
+				if doOne(ctx, hc, q, cfg.Expect, tally) {
 					sleepCtx(ctx, cfg.ShedBackoff)
 				}
 			}
-			record(local)
 		}(w)
 	}
 	wg.Wait()
@@ -187,7 +185,7 @@ func runClosed(ctx context.Context, cfg Config, hc *http.Client, tally *counters
 // runOpen fires arrivals at the configured rate, each handled in its own
 // goroutine — completions do not gate arrivals, so an overloaded server
 // sees the queue an open system would build.
-func runOpen(ctx context.Context, cfg Config, hc *http.Client, tally *counters, record func([]float64)) *Result {
+func runOpen(ctx context.Context, cfg Config, hc *http.Client, tally *counters) *Result {
 	interval := time.Duration(float64(time.Second) / cfg.RatePerSec)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -206,9 +204,7 @@ arrivals:
 			wg.Add(1)
 			go func(q *Query) {
 				defer wg.Done()
-				local := make([]float64, 0, 1)
-				doOne(ctx, hc, q, cfg.Expect, tally, &local)
-				record(local)
+				doOne(ctx, hc, q, cfg.Expect, tally)
 			}(q)
 		}
 	}
@@ -218,12 +214,16 @@ arrivals:
 
 // doOne issues a single request and tallies its outcome; reports whether
 // the request was shed (so closed-loop callers can back off briefly).
-func doOne(ctx context.Context, hc *http.Client, q *Query, expect map[string][]byte, tally *counters, local *[]float64) bool {
+func doOne(ctx context.Context, hc *http.Client, q *Query, expect map[string][]byte, tally *counters) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, q.URL, nil)
 	if err != nil {
 		tally.errors.Add(1)
 		return false
 	}
+	// Attribute the request to its workload query so the server's
+	// per-label latency histograms (rdfframes_query_task_seconds) break the
+	// mix down by query.
+	req.Header.Set("X-Query-Label", q.ID)
 	tally.requests.Add(1)
 	begin := time.Now()
 	resp, err := hc.Do(req)
@@ -252,7 +252,7 @@ func doOne(ctx context.Context, hc *http.Client, q *Query, expect map[string][]b
 			return false
 		}
 		tally.ok.Add(1)
-		*local = append(*local, elapsed)
+		tally.latency.Observe(elapsed)
 		if expect != nil {
 			if want, ok := expect[q.ID]; ok && string(body) != string(want) {
 				tally.identity.Add(1)
@@ -279,15 +279,6 @@ func newPicker(cfg Config, worker int) func() int {
 		return func() int { return 0 }
 	}
 	return func() int { return int(z.Uint64()) }
-}
-
-// percentile returns the q-th percentile of sorted (ascending) samples.
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) {

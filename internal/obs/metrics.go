@@ -1,0 +1,448 @@
+// Package obs is the observability layer: a dependency-free metrics
+// registry (atomic counters, gauges, and fixed-bucket histograms exposed in
+// Prometheus text format), request-scoped tracing carried via
+// context.Context, and a structured slow-query log.
+//
+// The package is a leaf — it imports nothing from the rest of the module —
+// so every layer (store, engine, server, client, bench harness) can feed
+// the same registry without import cycles. Hot-path instrument operations
+// (Counter.Add, Gauge.Set, Histogram.Observe) are single atomic updates and
+// allocate nothing; all bookkeeping happens at registration and scrape
+// time.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType distinguishes the exposition families.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Label is one name=value pair attached to a series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing value. The zero value is usable,
+// but counters should normally be obtained from a Registry so they are
+// scraped.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (stored as float64 bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observation counts per upper
+// bound plus a running sum. Observations and reads are lock-free; quantiles
+// are derived from the buckets with linear interpolation, so p50/p95/p99
+// come straight off the scrape with no sample retention.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, +Inf implied at the end
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomicFloat
+}
+
+// atomicFloat accumulates float64 additions via CAS on the bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// DefaultLatencyBuckets spans 50µs to 60s on a 1-2.5-5 ladder: wide enough
+// for a cache hit and a multi-second analytical query on the same axis,
+// fine enough that interpolated percentiles are meaningful.
+var DefaultLatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// NewHistogram returns a standalone histogram over the given ascending
+// upper bounds (nil uses DefaultLatencyBuckets). Prefer Registry.Histogram
+// for scraped metrics; standalone histograms serve in-process aggregation
+// (e.g. the load generator's latency percentiles).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value. Allocation-free and safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v (hand-rolled: sort.Search takes
+	// a closure, which would escape).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the buckets,
+// interpolating linearly within the containing bucket. Returns 0 when the
+// histogram is empty. Estimates are monotone in q, so derived p50/p95/p99
+// never invert.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				// +Inf bucket: no upper edge to interpolate toward.
+				return lo
+			}
+			return lo + (h.bounds[i]-lo)*((target-cum)/c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// series is one labeled instrument (or read-through function) in a family.
+type series struct {
+	labels string // rendered {k="v",...} suffix, "" for unlabeled
+	inst   any    // *Counter, *Gauge, *Histogram, or func() float64
+}
+
+// family is one named metric with its series.
+type family struct {
+	name, help string
+	typ        MetricType
+	mu         sync.Mutex
+	series     []*series
+	index      map[string]*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Get-or-create semantics: registering the same (name,
+// labels) pair again returns the existing instrument, so independent
+// subsystems can share a registry without coordination. Registering a
+// function-backed series on an existing (name, labels) replaces the
+// function (last writer wins) — the idiom for re-pointing a gauge at a new
+// engine.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, typ MetricType) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, index: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	return f
+}
+
+// get returns the series for the rendered label set, creating it with
+// make() when absent. replace forces the instrument to be swapped even if
+// the series exists (function-backed series).
+func (f *family) get(labels []Label, make func() any, replace bool) any {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.index[key]
+	if !ok {
+		s = &series{labels: key, inst: make()}
+		f.index[key] = s
+		f.series = append(f.series, s)
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+	} else if replace {
+		s.inst = make()
+	}
+	return s.inst
+}
+
+// Counter returns the counter named name with the given labels, creating
+// and registering it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	inst := r.family(name, help, TypeCounter).get(labels, func() any { return &Counter{} }, false)
+	c, ok := inst.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s%s already registered as %T", name, renderLabels(labels), inst))
+	}
+	return c
+}
+
+// Gauge returns the gauge named name with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	inst := r.family(name, help, TypeGauge).get(labels, func() any { return &Gauge{} }, false)
+	g, ok := inst.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s%s already registered as %T", name, renderLabels(labels), inst))
+	}
+	return g
+}
+
+// Histogram returns the histogram named name with the given labels and
+// bucket bounds (nil = DefaultLatencyBuckets). Bounds are fixed by the
+// first registration of the family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	inst := r.family(name, help, TypeHistogram).get(labels, func() any { return NewHistogram(bounds) }, false)
+	h, ok := inst.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s%s already registered as %T", name, renderLabels(labels), inst))
+	}
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the idiom for exposing counters that already live elsewhere as
+// atomics (cache hit counts, shed tallies), so /metrics and /stats read the
+// very same source and can never disagree.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.family(name, help, TypeCounter).get(labels, func() any { return fn }, true)
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.family(name, help, TypeGauge).get(labels, func() any { return fn }, true)
+}
+
+// renderLabels renders a label set as its exposition suffix: {a="x",b="y"}
+// with keys sorted, or "" when empty.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// joinLabels merges a rendered label suffix with one extra label (for
+// histogram bucket "le" rendering).
+func joinLabels(rendered, name, value string) string {
+	pair := name + `="` + value + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), families in registration order, series sorted by
+// label set within a family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		series := append([]*series(nil), f.series...)
+		f.mu.Unlock()
+		if len(series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range series {
+			switch inst := s.inst.(type) {
+			case *Counter:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, s.labels, formatValue(float64(inst.Value())))
+			case *Gauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, s.labels, formatValue(inst.Value()))
+			case func() float64:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, s.labels, formatValue(inst()))
+			case *Histogram:
+				var cum uint64
+				for i := range inst.counts {
+					cum += inst.counts[i].Load()
+					le := "+Inf"
+					if i < len(inst.bounds) {
+						le = formatValue(inst.bounds[i])
+					}
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, joinLabels(s.labels, "le", le), cum)
+				}
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, s.labels, formatValue(inst.Sum()))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, s.labels, cum)
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// formatValue renders a float the way Prometheus expects: integral values
+// without an exponent, everything else in Go's shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler returns an http.Handler serving the registry as
+// text/plain Prometheus exposition — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The connection is gone; nothing useful to do.
+			_ = err
+		}
+	})
+}
+
+// Each calls fn for every scalar series the registry would expose:
+// counters and gauges directly, histograms as their _sum and _count
+// series (buckets are skipped — they are exposition detail, not trend
+// data). The series name passed to fn includes the rendered label suffix.
+func (r *Registry) Each(fn func(name string, typ MetricType, value float64)) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		series := append([]*series(nil), f.series...)
+		f.mu.Unlock()
+		for _, s := range series {
+			switch inst := s.inst.(type) {
+			case *Counter:
+				fn(f.name+s.labels, TypeCounter, float64(inst.Value()))
+			case *Gauge:
+				fn(f.name+s.labels, TypeGauge, inst.Value())
+			case func() float64:
+				fn(f.name+s.labels, f.typ, inst())
+			case *Histogram:
+				fn(f.name+"_sum"+s.labels, TypeCounter, inst.Sum())
+				fn(f.name+"_count"+s.labels, TypeCounter, float64(inst.Count()))
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-query tracing: a Trace rides the request's context.Context through
+// every layer — admission, parse, plan, cache lookup, singleflight,
+// evaluation, encode — and each layer records timed spans and annotations
+// into it. Traces are opt-in per request (the server creates one only when
+// ?trace=1 was asked for or the slow-query log is armed), so the disabled
+// path costs exactly one context value lookup per layer. Every method is
+// safe on a nil *Trace, which is what makes the call sites unconditional.
+
+// Span is one timed stage of a request.
+type Span struct {
+	Name string `json:"name"`
+	// Start is the span's offset from the trace's start, in seconds.
+	Start float64 `json:"start_seconds"`
+	// Seconds is the span's duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// Trace is one request's recording. Safe for concurrent use: evaluation
+// may run on a singleflight goroutine while the request goroutine records
+// its own spans.
+type Trace struct {
+	// ID is the request id (X-Request-ID).
+	ID string
+	// Detail marks a trace whose owner wants per-operator execution detail
+	// (the ?trace=1 annex); plain slow-log traces leave it false and skip
+	// the tracked-plan overhead.
+	Detail bool
+
+	start time.Time
+
+	mu     sync.Mutex
+	spans  []Span
+	notes  map[string]string
+	attach map[string]any
+}
+
+// NewTrace starts a trace identified by id, beginning now.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// Detailed reports whether per-operator detail was requested (nil-safe).
+func (t *Trace) Detailed() bool { return t != nil && t.Detail }
+
+// StartSpan opens a named span and returns the function that closes it.
+// On a nil trace both operations are no-ops.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return noopEnd
+	}
+	begin := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{
+			Name:    name,
+			Start:   begin.Sub(t.start).Seconds(),
+			Seconds: end.Sub(begin).Seconds(),
+		})
+		t.mu.Unlock()
+	}
+}
+
+var noopEnd = func() {}
+
+// Annotate records a key/value note (cache outcome, singleflight role,
+// plan digest, ...). Last write wins per key. Nil-safe.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.notes == nil {
+		t.notes = map[string]string{}
+	}
+	t.notes[key] = value
+	t.mu.Unlock()
+}
+
+// Attach stores a structured payload under key (e.g. the executed plan
+// tree with estimated vs actual cardinalities), serialized into the trace
+// annex as-is. Nil-safe.
+func (t *Trace) Attach(key string, v any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.attach == nil {
+		t.attach = map[string]any{}
+	}
+	t.attach[key] = v
+	t.mu.Unlock()
+}
+
+// Note returns the annotation for key ("" when absent). Nil-safe.
+func (t *Trace) Note(key string) string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.notes[key]
+}
+
+// Spans returns a copy of the recorded spans in start order. Nil-safe.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Elapsed is the wall time since the trace started. Nil-safe (0).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// TraceReport is the serialized form of a trace: the ?trace=1 annex and
+// the slow-query log's span section.
+type TraceReport struct {
+	RequestID   string            `json:"request_id"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Spans       []Span            `json:"spans"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+	// Plan carries the executed operator tree (est vs actual cardinalities)
+	// when per-operator detail was requested and an evaluation actually ran.
+	Plan any `json:"plan,omitempty"`
+}
+
+// Report snapshots the trace for serialization. Nil-safe (nil report).
+func (t *Trace) Report() *TraceReport {
+	if t == nil {
+		return nil
+	}
+	rep := &TraceReport{
+		RequestID:   t.ID,
+		WallSeconds: time.Since(t.start).Seconds(),
+		Spans:       t.Spans(),
+	}
+	t.mu.Lock()
+	if len(t.notes) > 0 {
+		rep.Annotations = make(map[string]string, len(t.notes))
+		for k, v := range t.notes {
+			rep.Annotations[k] = v
+		}
+	}
+	rep.Plan = t.attach["plan"]
+	t.mu.Unlock()
+	return rep
+}
+
+// traceKey is the context key for the request trace.
+type traceKey struct{}
+
+// WithTrace returns ctx carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil — and every Trace
+// method is nil-safe, so callers never branch.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// NewRequestID returns a fresh 16-hex-char request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the process is in far deeper trouble
+		// than an unlabeled request; degrade to a fixed id.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTraceIsSafe exercises every Trace method on nil — the contract
+// that lets every layer call unconditionally on the untraced path.
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")() // both halves must be no-ops
+	tr.Annotate("k", "v")
+	tr.Attach("plan", 1)
+	if tr.Note("k") != "" {
+		t.Fatal("nil trace returned a note")
+	}
+	if tr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+	if tr.Detailed() {
+		t.Fatal("nil trace is detailed")
+	}
+	if tr.Elapsed() != 0 {
+		t.Fatal("nil trace has elapsed time")
+	}
+	if tr.Report() != nil {
+		t.Fatal("nil trace produced a report")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("empty context carried a trace")
+	}
+}
+
+func TestTraceSpansAndReport(t *testing.T) {
+	tr := NewTrace("req-1")
+	end := tr.StartSpan("parse")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.StartSpan("exec")()
+	tr.Annotate("cache", "miss")
+	tr.Annotate("cache", "hit") // last write wins
+	tr.Attach("plan", map[string]string{"op": "scan"})
+
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("context round-trip lost the trace")
+	}
+
+	rep := tr.Report()
+	if rep.RequestID != "req-1" {
+		t.Fatalf("request id = %q", rep.RequestID)
+	}
+	if len(rep.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(rep.Spans))
+	}
+	// Spans come back sorted by start offset regardless of close order.
+	if rep.Spans[0].Name != "parse" || rep.Spans[1].Name != "exec" {
+		t.Fatalf("span order: %+v", rep.Spans)
+	}
+	if rep.Spans[0].Seconds < 0.001 {
+		t.Fatalf("parse span = %v, want >= 1ms", rep.Spans[0].Seconds)
+	}
+	if rep.Annotations["cache"] != "hit" {
+		t.Fatalf("annotation = %q, want last-write hit", rep.Annotations["cache"])
+	}
+	if rep.Plan == nil {
+		t.Fatal("attached plan missing from report")
+	}
+	if rep.WallSeconds <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("ids %q, %q: want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatal("two ids collided")
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 100*time.Millisecond)
+	if !l.Armed() {
+		t.Fatal("log not armed")
+	}
+	if l.Threshold() != 100*time.Millisecond {
+		t.Fatalf("threshold = %v", l.Threshold())
+	}
+
+	l.Record(SlowEntry{RequestID: "r1", Query: "SELECT 1", Seconds: 0.2, Status: 200, Rows: 3})
+	long := strings.Repeat("x", MaxQueryBytes+100)
+	l.Record(SlowEntry{RequestID: "r2", Query: long, Seconds: 0.3, Status: 200})
+
+	if l.Entries() != 2 || l.Dropped() != 0 {
+		t.Fatalf("entries=%d dropped=%d", l.Entries(), l.Dropped())
+	}
+
+	dec := json.NewDecoder(&buf)
+	var e1, e2 SlowEntry
+	if err := dec.Decode(&e1); err != nil {
+		t.Fatalf("line 1: %v", err)
+	}
+	if err := dec.Decode(&e2); err != nil {
+		t.Fatalf("line 2: %v", err)
+	}
+	if e1.RequestID != "r1" || e1.Rows != 3 {
+		t.Fatalf("entry 1: %+v", e1)
+	}
+	if !e2.TruncatedQuery || len(e2.Query) != MaxQueryBytes {
+		t.Fatalf("entry 2 not truncated: len=%d marked=%v", len(e2.Query), e2.TruncatedQuery)
+	}
+
+	// Nil log: everything is a safe no-op.
+	var nilLog *SlowLog
+	nilLog.Record(SlowEntry{})
+	if nilLog.Armed() || nilLog.Entries() != 0 || nilLog.Dropped() != 0 || nilLog.Threshold() != 0 {
+		t.Fatal("nil slow log misbehaved")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, context.DeadlineExceeded }
+
+func TestSlowLogDropsOnWriteError(t *testing.T) {
+	l := NewSlowLog(failWriter{}, 0)
+	l.Record(SlowEntry{RequestID: "r"})
+	if l.Entries() != 0 || l.Dropped() != 1 {
+		t.Fatalf("entries=%d dropped=%d, want 0/1", l.Entries(), l.Dropped())
+	}
+}

@@ -15,6 +15,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -123,14 +124,16 @@ func (s *Server) shed(w http.ResponseWriter, reason, detail string, status int) 
 
 // admit runs the gates for one query request. It returns a release
 // function to defer when the request was admitted, or ok=false after
-// having already written the shed response.
-func (s *Server) admit(w http.ResponseWriter, query string) (release func(), ok bool) {
+// having already written the shed response. ctx carries the request trace
+// (if any) into cost estimation, where a cold query pays for its parse
+// and planning.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, query string) (release func(), ok bool) {
 	if s.adm.draining.Load() {
 		s.shed(w, ShedDraining, "server is draining for shutdown", http.StatusServiceUnavailable)
 		return nil, false
 	}
 	if s.MaxQueryCost > 0 {
-		est, known, err := s.Engine.EstimateCost(query)
+		est, known, err := s.Engine.EstimateCostContext(ctx, query)
 		if err != nil {
 			// Unparsable: let the evaluation path report the error with its
 			// usual 400 — admission only answers load questions.

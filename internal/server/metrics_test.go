@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfframes/internal/faults"
+	"rdfframes/internal/obs"
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/sparql"
+	"rdfframes/internal/store"
+)
+
+// newMetricsServer builds a caching endpoint with metrics enabled, a
+// slow-query log armed at threshold 0 (every completed query logs), and a
+// fault injector for slowing evaluations.
+func newMetricsServer(t *testing.T, maxInFlight int) (*httptest.Server, *Server, *faults.Evals, *obs.SlowLog, *bytes.Buffer) {
+	t.Helper()
+	st := store.New()
+	for i := 0; i < 25; i++ {
+		err := st.Add(g, rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%02d", i)),
+			P: rdf.NewIRI("http://ex/p"),
+			O: rdf.NewInteger(int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := sparql.NewEngine(st)
+	eng.EnableCache(sparql.DefaultPlanCacheEntries, sparql.DefaultResultCacheRows)
+	var ev faults.Evals
+	eng.SetEvalHook(ev.Hook)
+	srv := New(eng)
+	srv.MaxInFlight = maxInFlight
+	srv.EnableMetrics(obs.NewRegistry())
+	var slowBuf bytes.Buffer
+	slow := obs.NewSlowLog(&slowBuf, 0)
+	srv.SetSlowLog(slow)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, &ev, slow, &slowBuf
+}
+
+// fullStats is the /stats shape the consistency test reads.
+type fullStats struct {
+	Cache     sparql.CacheStats `json:"cache"`
+	Admission AdmissionStats    `json:"admission"`
+	Latency   *struct {
+		Count      uint64  `json:"count"`
+		SumSeconds float64 `json:"sum_seconds"`
+		P50        float64 `json:"p50_seconds"`
+		P95        float64 `json:"p95_seconds"`
+		P99        float64 `json:"p99_seconds"`
+	} `json:"latency"`
+	SlowLog *struct {
+		Armed   bool   `json:"armed"`
+		Entries uint64 `json:"entries"`
+		Dropped uint64 `json:"dropped"`
+	} `json:"slowlog"`
+}
+
+// TestStatsMetricsConsistencyUnderLoad hammers a metrics-enabled endpoint —
+// concurrent mixed queries, capacity sheds, parse errors — then reads
+// /stats and /metrics off the quiesced server and requires every counter
+// the two surfaces share to be EQUAL. Both render the same atomics through
+// read-through functions, so any divergence is a second bookkeeping path
+// sneaking in. Run under -race in CI: the hammer also doubles as a data-race
+// probe over the whole observation path.
+func TestStatsMetricsConsistencyUnderLoad(t *testing.T) {
+	ts, srv, ev, slow, slowBuf := newMetricsServer(t, 2)
+	ev.SetDelay(2 * time.Millisecond)
+
+	queries := []string{
+		admissionQuery,
+		`SELECT ?s WHERE { ?s <http://ex/p> 3 }`,
+		`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o } LIMIT 10`,
+	}
+	client := &http.Client{}
+
+	const workers = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := queries[(w+i)%len(queries)]
+				label := fmt.Sprintf("Q%d", (w+i)%len(queries))
+				if (w+i)%11 == 0 {
+					q = "SELECT nonsense {" // parse error -> 400
+					label = "bad"
+				}
+				req, err := http.NewRequest(http.MethodGet, ts.URL+"/sparql?query="+url.QueryEscape(q), nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("X-Query-Label", label)
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusTooManyRequests, http.StatusBadRequest:
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ev.SetDelay(0)
+
+	// The server is quiet now: /stats and /metrics reads move no /sparql
+	// counter, so the two scrapes see one frozen state.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats fullStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, types, err := obs.ParseText(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 || len(types) == 0 {
+		t.Fatal("empty /metrics exposition")
+	}
+
+	// Every counter the two surfaces share must be equal — same atomics,
+	// read through at render time.
+	pairs := []struct {
+		name string
+		want float64
+	}{
+		{`rdfframes_cache_hits_total{cache="plan"}`, float64(stats.Cache.Plans.Hits)},
+		{`rdfframes_cache_misses_total{cache="plan"}`, float64(stats.Cache.Plans.Misses)},
+		{`rdfframes_cache_hits_total{cache="result"}`, float64(stats.Cache.Results.Hits)},
+		{`rdfframes_cache_misses_total{cache="result"}`, float64(stats.Cache.Results.Misses)},
+		{`rdfframes_singleflight_total{role="leader"}`, float64(stats.Cache.Singleflight.Leaders)},
+		{`rdfframes_singleflight_total{role="waiter"}`, float64(stats.Cache.Singleflight.Waiters)},
+		{`rdfframes_admitted_total`, float64(stats.Admission.Admitted)},
+		{`rdfframes_admission_shed_total{reason="capacity"}`, float64(stats.Admission.Shed[ShedCapacity])},
+		{`rdfframes_admission_shed_total{reason="cost"}`, float64(stats.Admission.Shed[ShedCost])},
+		{`rdfframes_admission_shed_total{reason="draining"}`, float64(stats.Admission.Shed[ShedDraining])},
+		{`rdfframes_query_seconds_count`, float64(stats.Latency.Count)},
+		{`rdfframes_slowlog_entries_total`, float64(stats.SlowLog.Entries)},
+		{`rdfframes_evaluations_total`, float64(srv.Engine.Evaluations())},
+	}
+	for _, p := range pairs {
+		got, ok := samples[p.name]
+		if !ok {
+			t.Errorf("/metrics lacks %s", p.name)
+			continue
+		}
+		if got != p.want {
+			t.Errorf("%s: /metrics=%v /stats=%v — the surfaces disagree", p.name, got, p.want)
+		}
+	}
+
+	// The latency histogram observes exactly the 200 responses.
+	if got := samples[`rdfframes_http_requests_total{code="200"}`]; got != float64(stats.Latency.Count) {
+		t.Errorf("200 responses = %v but latency count = %d", got, stats.Latency.Count)
+	}
+	// Every 200 carried an X-Query-Label, so the per-label histograms must
+	// partition the overall one exactly.
+	var labeled float64
+	for name, v := range samples {
+		if strings.HasPrefix(name, `rdfframes_query_task_seconds_count{`) {
+			labeled += v
+		}
+	}
+	if labeled != float64(stats.Latency.Count) {
+		t.Errorf("per-label counts sum to %v, overall histogram has %d", labeled, stats.Latency.Count)
+	}
+
+	// Sanity: the hammer actually exercised the interesting paths.
+	if stats.Latency.Count == 0 {
+		t.Fatal("no successful query was measured")
+	}
+	if samples[`rdfframes_http_requests_total{code="400"}`] == 0 {
+		t.Fatal("no parse error was counted")
+	}
+
+	// The slow log (threshold 0) recorded every completed query as valid
+	// JSON, and its counters agree across surfaces too.
+	if slow.Entries() != stats.SlowLog.Entries {
+		t.Fatalf("slow log entries: log=%d /stats=%d", slow.Entries(), stats.SlowLog.Entries)
+	}
+	dec := json.NewDecoder(slowBuf)
+	var lines uint64
+	for dec.More() {
+		var e obs.SlowEntry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("slow log line %d: %v", lines+1, err)
+		}
+		if e.RequestID == "" {
+			t.Fatalf("slow log line %d has no request id", lines+1)
+		}
+		lines++
+	}
+	if lines != slow.Entries() {
+		t.Fatalf("slow log: %d lines written, %d counted", lines, slow.Entries())
+	}
+}
+
+// TestTraceAnnex drives the ?trace=1 surface end to end: the annex appears
+// only when asked for, carries the caller's X-Request-ID, reflects the
+// cache outcome, and never leaks into the shared cached body other
+// requests receive.
+func TestTraceAnnex(t *testing.T) {
+	ts, _, _, _, _ := newMetricsServer(t, 0)
+	q := url.QueryEscape(`SELECT ?s ?o WHERE { ?s <http://ex/p> ?o } LIMIT 5`)
+
+	get := func(extra, reqID string) (*http.Response, map[string]json.RawMessage) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/sparql?query="+q+extra, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reqID != "" {
+			req.Header.Set("X-Request-ID", reqID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var top map[string]json.RawMessage
+		if err := json.Unmarshal(body, &top); err != nil {
+			t.Fatalf("body is not JSON: %v", err)
+		}
+		return resp, top
+	}
+
+	// Cold, traced: full annex with spans, a miss outcome, and the executed
+	// plan with per-operator detail.
+	resp, top := get("&trace=1", "trace-test-1")
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-test-1" {
+		t.Fatalf("request id not echoed: %q", got)
+	}
+	raw, ok := top["trace"]
+	if !ok {
+		t.Fatal("traced response has no trace member")
+	}
+	var rep obs.TraceReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestID != "trace-test-1" {
+		t.Fatalf("trace request id = %q", rep.RequestID)
+	}
+	if rep.WallSeconds <= 0 || len(rep.Spans) == 0 {
+		t.Fatalf("degenerate trace: wall=%v spans=%d", rep.WallSeconds, len(rep.Spans))
+	}
+	spanNames := map[string]bool{}
+	var spanSum float64
+	for _, sp := range rep.Spans {
+		spanNames[sp.Name] = true
+		spanSum += sp.Seconds
+	}
+	// Stages don't overlap, so their durations must fit inside the wall
+	// time the trace measured.
+	if spanSum > rep.WallSeconds {
+		t.Errorf("span sum %v exceeds wall time %v", spanSum, rep.WallSeconds)
+	}
+	for _, want := range []string{"admission", "parse", "exec", "encode"} {
+		if !spanNames[want] {
+			t.Errorf("cold trace lacks %q span (have %v)", want, rep.Spans)
+		}
+	}
+	if rep.Annotations["result_cache"] != "miss" {
+		t.Errorf("cold annotations = %v, want result_cache=miss", rep.Annotations)
+	}
+	if rep.Annotations["plan_digest"] == "" {
+		t.Error("no plan digest annotated")
+	}
+	if rep.Plan == nil {
+		t.Error("detailed cold trace carries no executed plan")
+	}
+
+	// Untraced: the cached body must come back without any annex.
+	_, top = get("", "")
+	if _, leaked := top["trace"]; leaked {
+		t.Fatal("trace annex leaked into an untraced response")
+	}
+
+	// Warm, traced: annex again, now a hit, spliced into a COPY of the
+	// cached entry (the untraced read above proves the entry is clean).
+	_, top = get("&trace=1", "trace-test-2")
+	if err := json.Unmarshal(top["trace"], &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestID != "trace-test-2" {
+		t.Fatalf("warm trace request id = %q", rep.RequestID)
+	}
+	if rep.Annotations["result_cache"] != "hit" {
+		t.Errorf("warm annotations = %v, want result_cache=hit", rep.Annotations)
+	}
+
+	// And the entry is still clean after the traced hit.
+	_, top = get("", "")
+	if _, leaked := top["trace"]; leaked {
+		t.Fatal("traced hit mutated the shared cache entry")
+	}
+}
+
+// TestRequestIDMinted: a request without X-Request-ID gets one minted and
+// echoed, and distinct requests get distinct ids.
+func TestRequestIDMinted(t *testing.T) {
+	ts, _, _, _, _ := newMetricsServer(t, 0)
+	u := ts.URL + "/sparql?query=" + url.QueryEscape(admissionQuery)
+	ids := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-ID")
+		if len(id) != 16 {
+			t.Fatalf("minted id %q, want 16 hex chars", id)
+		}
+		ids[id] = true
+	}
+	if len(ids) != 2 {
+		t.Fatal("two requests shared a minted id")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"rdfframes/internal/obs"
 	"rdfframes/internal/sparql"
 )
 
@@ -61,6 +62,11 @@ type Server struct {
 	Logger *log.Logger
 
 	adm admission
+
+	// metrics is set by EnableMetrics; slowLog by SetSlowLog (both in
+	// metrics.go). Nil means the corresponding surface is off.
+	metrics *serverMetrics
+	slowLog *obs.SlowLog
 }
 
 // New returns a server over the given engine with no row cap.
@@ -75,12 +81,33 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if s.metrics != nil {
+		mux.Handle("/metrics", s.metrics.reg.Handler())
+	}
 	return mux
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	var query string
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+
+	// Observation state, filled in as the request progresses and flushed by
+	// the single deferred observe call — so every exit path (sheds, body
+	// errors, disconnects) lands in the same counters and slow-query log.
+	var (
+		query string
+		rows  int
+		info  sparql.ServeInfo
+		tr    *obs.Trace
+		qerr  error
+		reqID string
+	)
+	defer func() {
+		s.observe(r, reqID, tr, sw.status(), start, query, rows,
+			info.CacheOutcome(), info.PlanDigest, info.StoreVersion, qerr)
+	}()
+
 	switch r.Method {
 	case http.MethodGet:
 		query = r.URL.Query().Get("query")
@@ -113,9 +140,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Request identity and tracing. The id comes from the client when it
+	// sent one (X-Request-ID, so client and server logs correlate) and is
+	// minted otherwise; it is echoed on every response. A trace is created
+	// only when the response should carry one (?trace=1) or the slow-query
+	// log is armed — the disabled path costs one header read and a nil
+	// trace whose recording methods are all no-ops.
+	reqID = r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	wantTrace := traceRequested(r)
+	if wantTrace || s.slowLog.Armed() {
+		tr = obs.NewTrace(reqID)
+		tr.Detail = wantTrace
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+	}
+
 	// Admission gates: drain, cost budget, in-flight capacity — shed here,
 	// before any evaluation work, with 429/503 + Retry-After (admission.go).
-	release, ok := s.admit(w, query)
+	endAdmit := tr.StartSpan("admission")
+	release, ok := s.admit(r.Context(), w, query)
+	endAdmit()
 	if !ok {
 		return
 	}
@@ -132,6 +179,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// instead of evaluating to completion on a detached goroutine.
 	body, rows, truncated, info, err := s.Engine.QueryServingJSONContext(r.Context(), query, s.MaxRows)
 	if err != nil {
+		qerr = err
 		if errors.Is(err, context.Canceled) {
 			// The client is gone; there is nobody to answer.
 			s.logf("query canceled by client after %v", time.Since(start))
@@ -144,6 +192,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		s.logf("query error (%d) in %v: %v", status, time.Since(start), err)
 		return
+	}
+	if wantTrace {
+		// Splice the trace annex into a copy of the response (cached bodies
+		// are shared across requests and must never be mutated).
+		if spliced, err := spliceTrace(body, tr.Report()); err == nil {
+			body = spliced
+		} else {
+			s.logf("trace annex error: %v", err)
+		}
 	}
 	w.Header().Set("Content-Type", "application/sparql-results+json")
 	w.Header().Set("X-Store-Version", strconv.FormatUint(info.StoreVersion, 10))
@@ -193,6 +250,34 @@ func explainRequested(r *http.Request) bool {
 		return true
 	}
 	return r.PostForm.Get("explain") == "1"
+}
+
+// traceRequested reports whether the request asked for the trace annex
+// (?trace=1 on the URL, or trace=1 in a POST form).
+func traceRequested(r *http.Request) bool {
+	if r.URL.Query().Get("trace") == "1" {
+		return true
+	}
+	return r.PostForm.Get("trace") == "1"
+}
+
+// spliceTrace returns a copy of a SPARQL JSON response body with the trace
+// report spliced in as a top-level "trace" member. The input is never
+// modified — response bodies can be shared cache entries.
+func spliceTrace(body []byte, rep *obs.TraceReport) ([]byte, error) {
+	annex, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 || body[len(body)-1] != '}' {
+		return nil, fmt.Errorf("response body is not a JSON object")
+	}
+	out := make([]byte, 0, len(body)+len(annex)+16)
+	out = append(out, body[:len(body)-1]...)
+	out = append(out, `,"trace":`...)
+	out = append(out, annex...)
+	out = append(out, '}')
+	return out, nil
 }
 
 // handleExplain answers ?explain=1: the query is optimized and executed
@@ -259,6 +344,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Graph   string `json:"graph"`
 		Triples int    `json:"triples"`
 	}
+	type latencyStats struct {
+		Count      uint64  `json:"count"`
+		SumSeconds float64 `json:"sum_seconds"`
+		P50        float64 `json:"p50_seconds"`
+		P95        float64 `json:"p95_seconds"`
+		P99        float64 `json:"p99_seconds"`
+	}
+	type slowLogStats struct {
+		Armed            bool    `json:"armed"`
+		ThresholdSeconds float64 `json:"threshold_seconds"`
+		Entries          uint64  `json:"entries"`
+		Dropped          uint64  `json:"dropped"`
+	}
 	type stats struct {
 		StoreVersion uint64      `json:"store_version"`
 		Graphs       []graphStat `json:"graphs"`
@@ -270,6 +368,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// Admission reports the load-shedding gates: in-flight and admitted
 		// queries plus per-reason shed counters (see admission.go).
 		Admission AdmissionStats `json:"admission"`
+		// Latency summarizes the same histogram /metrics exposes as
+		// rdfframes_query_seconds (present when EnableMetrics was called);
+		// SlowLog the slow-query log counters.
+		Latency *latencyStats `json:"latency,omitempty"`
+		SlowLog *slowLogStats `json:"slowlog,omitempty"`
 	}
 	st := s.Engine.Store
 	out := stats{
@@ -277,6 +380,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Parallelism: s.Engine.Parallelism,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Admission:   s.AdmissionStats(),
+	}
+	if m := s.metrics; m != nil {
+		out.Latency = &latencyStats{
+			Count:      m.latency.Count(),
+			SumSeconds: m.latency.Sum(),
+			P50:        m.latency.Quantile(0.50),
+			P95:        m.latency.Quantile(0.95),
+			P99:        m.latency.Quantile(0.99),
+		}
+	}
+	if s.slowLog.Armed() {
+		out.SlowLog = &slowLogStats{
+			Armed:            true,
+			ThresholdSeconds: s.slowLog.Threshold().Seconds(),
+			Entries:          s.slowLog.Entries(),
+			Dropped:          s.slowLog.Dropped(),
+		}
 	}
 	st.RLock()
 	out.StoreVersion = st.Version()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rdfframes/internal/obs"
 	"rdfframes/internal/qcache"
 )
 
@@ -108,6 +109,24 @@ type ServeInfo struct {
 	Coalesced bool
 	// StoreVersion is the store mutation epoch the response reflects.
 	StoreVersion uint64
+	// PlanDigest is the structural hash of the optimized plan the query
+	// maps to ("" when the optimizer is off); see queryPlan.planDigest.
+	PlanDigest string
+}
+
+// CacheOutcome renders the serve outcome as one word for annotations,
+// headers, and the slow-query log.
+func (si ServeInfo) CacheOutcome() string {
+	switch {
+	case !si.CacheEnabled:
+		return "off"
+	case si.Hit:
+		return "hit"
+	case si.Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
 }
 
 // EnableCache switches on the serving-path caches: a plan cache of up to
@@ -163,21 +182,38 @@ type cachedPlan struct {
 // data distribution shifts (bulk ingest, new graphs) the epoch moves and
 // the entry is re-optimized on next use, while steady-state serving reuses
 // the cached plan untouched. The returned plan is nil when the optimizer
-// is off (DisableOptimizer / DisableReorder).
-func (e *Engine) planned(src string) (*Query, *queryPlan, error) {
+// is off (DisableOptimizer / DisableReorder). A trace carried by ctx gets
+// parse/plan spans and the plan-cache outcome.
+func (e *Engine) planned(ctx context.Context, src string) (*Query, *queryPlan, error) {
+	tr := obs.TraceFrom(ctx)
 	optimize := !e.DisableOptimizer && !e.DisableReorder
 	if e.plans == nil {
+		endParse := tr.StartSpan("parse")
 		q, err := Parse(src)
+		endParse()
 		if err != nil || !optimize || q.Explain {
 			// EXPLAIN queries build their own tracked plan in
 			// explainParsed; planning here would be double work.
 			return q, nil, err
 		}
-		return q, e.buildPlan(q, false), nil
+		endPlan := tr.StartSpan("plan")
+		qp := e.buildPlan(q, false)
+		endPlan()
+		return q, qp, nil
 	}
 	entry, ok := e.plans.Get(src)
-	if !ok {
+	if ok {
+		// First write wins: a request resolves the plan cache more than once
+		// (admission-control cost estimation, then serve), and the outcome
+		// that characterizes the request is the first one.
+		if tr.Note("plan_cache") == "" {
+			tr.Annotate("plan_cache", "hit")
+		}
+	} else {
+		tr.Annotate("plan_cache", "miss")
+		endParse := tr.StartSpan("parse")
 		q, err := Parse(src)
+		endParse()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -189,9 +225,12 @@ func (e *Engine) planned(src string) (*Query, *queryPlan, error) {
 	}
 	qp := entry.plan.Load()
 	if qp == nil || qp.epoch != e.Store.StatsEpoch() {
+		endPlan := tr.StartSpan("plan")
 		qp = e.buildPlan(entry.q, false)
+		endPlan()
 		entry.plan.Store(qp)
 	}
+	tr.Annotate("stats_epoch", strconv.FormatUint(qp.epoch, 10))
 	return entry.q, qp, nil
 }
 
@@ -248,7 +287,9 @@ func (e *Engine) QueryServingJSONContext(ctx context.Context, src string, maxRow
 		hi = lo + maxRows
 		truncated = true
 	}
+	endEncode := obs.TraceFrom(ctx).StartSpan("encode")
 	body, grew, err := ce.encodedPage(lo, hi)
+	endEncode()
 	if err != nil {
 		return nil, 0, false, info, err
 	}
@@ -271,10 +312,13 @@ func (e *Engine) QueryServingJSONContext(ctx context.Context, src string, maxRow
 func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit, offset int, info ServeInfo, err error) {
 	info = ServeInfo{StoreVersion: e.Store.Version()}
 	limit = -1
-	q, qp, err := e.planned(src)
+	tr := obs.TraceFrom(ctx)
+	q, qp, err := e.planned(ctx, src)
 	if err != nil {
 		return nil, 0, 0, info, err
 	}
+	info.PlanDigest = qp.planDigest()
+	tr.Annotate("plan_digest", info.PlanDigest)
 	if q.Explain {
 		// EXPLAIN output depends on live actual cardinalities; it bypasses
 		// the result cache and dies with the request.
@@ -285,11 +329,22 @@ func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit
 		return &cachedResult{version: info.StoreVersion, res: rep.Results()}, limit, 0, info, nil
 	}
 	if e.results == nil {
+		evalPlan := qp
+		if tr.Detailed() && qp != nil {
+			// Per-operator detail was asked for: run under a fresh tracked
+			// plan (tracked plans record actuals and must not be shared).
+			evalPlan = e.buildPlan(q, true)
+		}
+		endExec := tr.StartSpan("exec")
 		e.Store.RLock()
-		res, err := e.evalLocked(ctx, q, qp)
+		res, err := e.evalLocked(ctx, q, evalPlan)
 		e.Store.RUnlock()
+		endExec()
 		if err != nil {
 			return nil, 0, 0, info, err
+		}
+		if evalPlan != nil && evalPlan.track {
+			tr.Attach("plan", evalPlan.root)
 		}
 		return &cachedResult{version: info.StoreVersion, res: res}, limit, 0, info, nil
 	}
@@ -310,10 +365,14 @@ func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit
 
 	ck := cacheKey(info.StoreVersion, e.DefaultGraphs, key)
 	for {
-		if ce, ok := e.results.Get(ck); ok {
+		endLookup := tr.StartSpan("result_cache_lookup")
+		hit, ok := e.results.Get(ck)
+		endLookup()
+		if ok {
 			info.Hit = true
-			info.StoreVersion = ce.version
-			return ce, limit, offset, info, nil
+			info.StoreVersion = hit.version
+			tr.Annotate("result_cache", "hit")
+			return hit, limit, offset, info, nil
 		}
 
 		// Miss: evaluate the normalized (unpaginated) query in one read
@@ -331,12 +390,27 @@ func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit
 		// original's group pointers the plan is keyed on.
 		lookupVersion := info.StoreVersion
 		ce, shared, err := e.flights.do(ctx, ck, func(fctx context.Context) (*cachedResult, error) {
+			// This closure runs only when this caller leads the flight, so
+			// the enclosing trace (not one fished from fctx, which is the
+			// flight's shared context) is the right recording target.
+			evalPlan := qp
+			if tr.Detailed() && qp != nil {
+				// Per-operator detail: evaluate under a fresh tracked plan
+				// built for the normalized query actually evaluated (tracked
+				// plans record actuals and must not be shared).
+				evalPlan = e.buildPlan(normalized, true)
+			}
+			endExec := tr.StartSpan("exec")
 			e.Store.RLock()
 			version := e.Store.Version()
-			full, err := e.evalLocked(fctx, normalized, qp)
+			full, err := e.evalLocked(fctx, normalized, evalPlan)
 			e.Store.RUnlock()
+			endExec()
 			if err != nil {
 				return nil, err
+			}
+			if evalPlan != nil && evalPlan.track {
+				tr.Attach("plan", evalPlan.root)
 			}
 			entryKey := ck
 			if version != lookupVersion {
@@ -358,6 +432,12 @@ func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit
 		}
 		info.Coalesced = shared
 		info.StoreVersion = ce.version
+		tr.Annotate("result_cache", "miss")
+		if shared {
+			tr.Annotate("singleflight", "waiter")
+		} else {
+			tr.Annotate("singleflight", "leader")
+		}
 		return ce, limit, offset, info, nil
 	}
 }

@@ -1,5 +1,7 @@
 package sparql
 
+import "context"
+
 // Query cost estimation for admission control: the serving layer needs to
 // know, before admitting a query, roughly how much work it will be. The
 // cost-based planner already computes exactly that — the summed
@@ -29,7 +31,16 @@ func (qp *queryPlan) estimatedCost() float64 {
 // err. The estimate goes through the plan cache, so on the steady-state
 // serving path it costs a cache lookup, not a planning pass.
 func (e *Engine) EstimateCost(src string) (cost float64, ok bool, err error) {
-	q, qp, err := e.planned(src)
+	return e.EstimateCostContext(context.Background(), src)
+}
+
+// EstimateCostContext is EstimateCost with a caller context: a trace
+// carried by ctx records the parse/plan spans this estimate triggers (on
+// the serving path, admission-control estimation is where a cold query
+// actually pays for parsing and planning; the later serve call hits the
+// plan cache).
+func (e *Engine) EstimateCostContext(ctx context.Context, src string) (cost float64, ok bool, err error) {
+	q, qp, err := e.planned(ctx, src)
 	if err != nil {
 		return 0, false, err
 	}

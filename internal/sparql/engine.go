@@ -115,7 +115,7 @@ func (e *Engine) Query(src string) (*Results, error) {
 // within one tick window. An EXPLAIN query returns its plan as a
 // one-variable result set (see Explain for the structured form).
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Results, error) {
-	q, qp, err := e.planned(src)
+	q, qp, err := e.planned(ctx, src)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package sparql
+
+import (
+	"rdfframes/internal/obs"
+	"rdfframes/internal/qcache"
+)
+
+// RegisterMetrics exposes the engine's counters on reg as read-through
+// functions over the very same atomics CacheStats and Evaluations report:
+// /metrics and /stats cannot disagree because there is one source of truth
+// sampled at render time, not two bookkeeping paths.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	registerCacheMetrics(reg, "plan", func() qcache.Stats {
+		if e.plans == nil {
+			return qcache.Stats{}
+		}
+		return e.plans.Stats()
+	})
+	registerCacheMetrics(reg, "result", func() qcache.Stats {
+		if e.results == nil {
+			return qcache.Stats{}
+		}
+		return e.results.Stats()
+	})
+
+	const sfHelp = "Result-cache miss evaluations by singleflight role: leaders ran the evaluation, waiters coalesced onto one."
+	reg.CounterFunc("rdfframes_singleflight_total", sfHelp,
+		func() float64 { return float64(e.flights.stats().Leaders) }, obs.L("role", "leader"))
+	reg.CounterFunc("rdfframes_singleflight_total", sfHelp,
+		func() float64 { return float64(e.flights.stats().Waiters) }, obs.L("role", "waiter"))
+
+	reg.CounterFunc("rdfframes_evaluations_total",
+		"Evaluator runs (cache hits and coalesced waits do not count).",
+		func() float64 { return float64(e.Evaluations()) })
+
+	reg.GaugeFunc("rdfframes_store_version",
+		"Store mutation epoch; cached results are keyed to it.",
+		func() float64 { return float64(e.Store.Version()) })
+	reg.GaugeFunc("rdfframes_stats_epoch",
+		"Statistics-catalog epoch; cached plans re-optimize when it moves.",
+		func() float64 { return float64(e.Store.StatsEpoch()) })
+	reg.GaugeFunc("rdfframes_store_triples",
+		"Triples currently in the store across all graphs.",
+		func() float64 { return float64(e.Store.Len()) })
+	reg.GaugeFunc("rdfframes_store_graphs",
+		"Named graphs currently in the store.",
+		func() float64 { return float64(len(e.Store.GraphURIs())) })
+	reg.GaugeFunc("rdfframes_parallelism",
+		"Effective intra-query morsel worker count.",
+		func() float64 { return float64(e.parallelism()) })
+	reg.GaugeFunc("rdfframes_cache_enabled",
+		"1 when the serving result cache is on.",
+		func() float64 {
+			if e.CacheEnabled() {
+				return 1
+			}
+			return 0
+		})
+}
+
+// registerCacheMetrics exposes one qcache's counters under the shared
+// family names with a cache=<name> label.
+func registerCacheMetrics(reg *obs.Registry, name string, stats func() qcache.Stats) {
+	l := obs.L("cache", name)
+	reg.CounterFunc("rdfframes_cache_hits_total",
+		"Cache lookups answered from the cache, by cache.",
+		func() float64 { return float64(stats().Hits) }, l)
+	reg.CounterFunc("rdfframes_cache_misses_total",
+		"Cache lookups that missed, by cache.",
+		func() float64 { return float64(stats().Misses) }, l)
+	reg.CounterFunc("rdfframes_cache_evictions_total",
+		"Entries evicted to fit the cache budget, by cache.",
+		func() float64 { return float64(stats().Evictions) }, l)
+	reg.GaugeFunc("rdfframes_cache_entries",
+		"Entries currently cached, by cache.",
+		func() float64 { return float64(stats().Entries) }, l)
+	reg.GaugeFunc("rdfframes_cache_cost",
+		"Current charged cost of cached entries, by cache.",
+		func() float64 { return float64(stats().Cost) }, l)
+	reg.GaugeFunc("rdfframes_cache_budget",
+		"Configured cache cost budget, by cache.",
+		func() float64 { return float64(stats().Budget) }, l)
+}

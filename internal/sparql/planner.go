@@ -1,10 +1,13 @@
 package sparql
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"rdfframes/internal/sparql/plan"
 	"rdfframes/internal/store"
@@ -73,6 +76,45 @@ type queryPlan struct {
 	results   map[*Query]*plan.Node
 	aggs      map[*Query]*plan.Node
 	distincts map[*Query]*plan.Node
+
+	// digest memoizes planDigest; computed on first use so plans that are
+	// never traced or slow-logged pay nothing.
+	digestOnce sync.Once
+	digestHex  string
+}
+
+// planDigest returns a short stable hash of the plan's structure — operator
+// kinds, arguments, and child order, which together encode the chosen join
+// orders and filter placements. Estimates and actuals are excluded, so two
+// executions of the same shape share a digest even when recorded
+// cardinalities differ. The slow-query log and ?trace=1 annex carry it so
+// "did the plan change across that ingest" is a grep, not a replay. Nil-safe
+// ("" when the optimizer is off).
+func (qp *queryPlan) planDigest() string {
+	if qp == nil || qp.root == nil {
+		return ""
+	}
+	qp.digestOnce.Do(func() {
+		var sb strings.Builder
+		writePlanShape(&sb, qp.root)
+		sum := sha256.Sum256([]byte(sb.String()))
+		qp.digestHex = hex.EncodeToString(sum[:8])
+	})
+	return qp.digestHex
+}
+
+// writePlanShape serializes the structural identity of a plan subtree:
+// op, detail, and a parenthesized child list.
+func writePlanShape(sb *strings.Builder, n *plan.Node) {
+	sb.WriteString(n.Op)
+	sb.WriteByte(' ')
+	sb.WriteString(n.Detail)
+	sb.WriteByte('(')
+	for _, c := range n.Children {
+		writePlanShape(sb, c)
+		sb.WriteByte(';')
+	}
+	sb.WriteByte(')')
 }
 
 // recordElem notes the row count after a group element's join (tracked

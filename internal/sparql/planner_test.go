@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -162,14 +163,14 @@ func TestPlanCacheReoptimizesOnEpochMove(t *testing.T) {
 	eng.EnableCache(16, 0) // plan cache only
 	src := `SELECT ?s WHERE { ?s <http://p/type> <http://c/thing> } LIMIT 1`
 
-	q1, qp1, err := eng.planned(src)
+	q1, qp1, err := eng.planned(context.Background(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if qp1 == nil {
 		t.Fatal("no plan built")
 	}
-	if _, qpAgain, _ := eng.planned(src); qpAgain != qp1 {
+	if _, qpAgain, _ := eng.planned(context.Background(), src); qpAgain != qp1 {
 		t.Fatal("plan not reused at a stable epoch")
 	}
 
@@ -187,7 +188,7 @@ func TestPlanCacheReoptimizesOnEpochMove(t *testing.T) {
 	if st.StatsEpoch() == before {
 		t.Fatal("bulk insert did not move the stats epoch")
 	}
-	q2, qp2, err := eng.planned(src)
+	q2, qp2, err := eng.planned(context.Background(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
