@@ -12,17 +12,17 @@
 //     (task, approach) pairs,
 //   - no fresh measurement has an empty timing (zero seconds without an
 //     error) and none reports an error,
-//   - result byte-identity flags recorded by the serving, parallel, and
-//     planner sections are all true (a false one is a determinism or
-//     planner-correctness regression),
+//   - result byte-identity flags recorded by the serving, parallel,
+//     planner, and wcoj sections are all true (a false one is a
+//     determinism or planner-correctness regression),
 //   - the traffic section upholds the load-shedding contract: Retry-After
 //     on every shed, zero unexpected errors or identity violations, and a
 //     stampede coalesced into exactly one evaluation,
 //   - sections present in the fresh report are non-degenerate.
 //
 // -strict additionally requires every section named by -sections (figure
-// numbers and/or "storage", "serving", "parallel", "planner", "traffic")
-// to be present in the fresh report — a missing section means the harness
+// numbers and/or "storage", "serving", "parallel", "planner", "traffic",
+// "wcoj") to be present in the fresh report — a missing section means the harness
 // silently dropped a workload and is a hard failure.
 //
 // -metrics switches benchcheck into a second mode: instead of diffing
@@ -60,7 +60,7 @@ func main() {
 	freshPath := flag.String("fresh", "", "freshly generated report to check")
 	warnRatio := flag.Float64("warn-ratio", 3, "warn when a shared measurement's timing ratio exceeds this (either direction)")
 	strict := flag.Bool("strict", false, "missing -sections entries become hard failures")
-	sections := flag.String("sections", "", "comma-separated sections the fresh report must contain under -strict (e.g. 5,serving,parallel,planner)")
+	sections := flag.String("sections", "", "comma-separated sections the fresh report must contain under -strict (e.g. 5,serving,parallel,planner,wcoj)")
 	metricsPath := flag.String("metrics", "", "validate a scraped Prometheus /metrics text file instead of diffing reports")
 	flag.Parse()
 
@@ -134,6 +134,8 @@ func checkSections(fresh *bench.JSONReport, sections string) []string {
 			missing = fresh.Planner == nil
 		case "traffic":
 			missing = fresh.Traffic == nil
+		case "wcoj":
+			missing = fresh.Wcoj == nil
 		default:
 			missing = !figures[s]
 		}
@@ -160,6 +162,10 @@ var requiredMetricFamilies = []string{
 	"rdfframes_cache_enabled",
 	"rdfframes_singleflight_total",
 	"rdfframes_evaluations_total",
+	"rdfframes_wcoj_segments_total",
+	"rdfframes_wcoj_seeks_total",
+	"rdfframes_wcoj_backtracks_total",
+	"rdfframes_wcoj_fallbacks_total",
 	"rdfframes_store_version",
 	"rdfframes_stats_epoch",
 	"rdfframes_store_triples",
@@ -323,6 +329,25 @@ func check(committed, fresh *bench.JSONReport, warnRatio float64) []string {
 			}
 			if q.HeuristicSeconds <= 0 || q.OptimizedSeconds <= 0 {
 				problems = append(problems, fmt.Sprintf("planner %s has an empty timing", q.Task))
+			}
+		}
+	}
+	if fresh.Wcoj != nil {
+		if len(fresh.Wcoj.Queries) == 0 {
+			problems = append(problems, "wcoj section has no queries")
+		}
+		if fresh.Wcoj.ChosenQueries == 0 {
+			problems = append(problems, "wcoj: cost model chose the operator for no query — the section measures nothing")
+		}
+		for _, q := range fresh.Wcoj.Queries {
+			if !q.ByteIdentical {
+				problems = append(problems, fmt.Sprintf("wcoj %s: result not byte-identical to the binary pipeline", q.Task))
+			}
+			if q.BinarySeconds <= 0 || q.WCOJSeconds <= 0 {
+				problems = append(problems, fmt.Sprintf("wcoj %s has an empty timing", q.Task))
+			}
+			if q.Chosen && q.Seeks == 0 {
+				problems = append(problems, fmt.Sprintf("wcoj %s: chosen but recorded no iterator seeks", q.Task))
 			}
 		}
 	}

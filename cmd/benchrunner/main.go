@@ -85,7 +85,7 @@ const (
 func main() {
 	var (
 		scaleFlag = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
-		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner", "traffic")`)
+		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner", "traffic", "wcoj")`)
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
 		bestOf    = flag.Int("bestof", 1, "rerun each measured phase N times and keep the best (use >=3 when regenerating committed numbers)")
 		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
@@ -97,6 +97,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "print the optimized EXPLAIN plan of every Figure-5 query and exit")
 		slowPath  = flag.String("slowlog", "", "arm a slow-query log on the traffic figure's endpoint, appending JSON lines to this file (- = stderr, empty = off)")
 		slowThr   = flag.Duration("slowlog-threshold", 100*time.Millisecond, "latency at or above which a traffic-figure query lands in -slowlog")
+		noWCOJ    = flag.Bool("no-wcoj", false, "disable the worst-case-optimal join operator on the main engine (ablation; the wcoj figure builds its own engines)")
 	)
 	flag.Parse()
 
@@ -113,6 +114,7 @@ func main() {
 	}
 	defer env.Close()
 	env.Engine.Parallelism = *parallel
+	env.Engine.DisableWCOJ = *noWCOJ
 
 	if *digest != "" {
 		if err := writeDigest(env, *digest); err != nil {
@@ -210,6 +212,14 @@ func main() {
 			}
 			report.Traffic = rep
 			fmt.Println(bench.FormatTraffic(rep))
+		case "wcoj":
+			fmt.Fprintln(os.Stderr, "measuring worst-case-optimal joins (binary pipeline vs leapfrog triejoin)...")
+			rep, err := bench.MeasureWCOJ(env, *bestOf, *timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Wcoj = rep
+			fmt.Println(bench.FormatWCOJ(rep))
 		case "3":
 			rows := bench.RunFigure3(env, *timeout, *bestOf)
 			report.Add("3", rows)

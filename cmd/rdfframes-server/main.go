@@ -78,6 +78,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "separate listener for operator surfaces: net/http/pprof plus /metrics and /stats (empty = off)")
 		slowLog   = flag.String("slowlog", "", "append slow queries as JSON lines to this file (- = stderr, empty = off)")
 		slowThr   = flag.Duration("slowlog-threshold", 250*time.Millisecond, "latency at or above which a query lands in -slowlog")
+		noWCOJ    = flag.Bool("no-wcoj", false, "disable the worst-case-optimal join operator; every BGP runs the binary join pipeline")
 		loads     loadFlags
 	)
 	flag.Var(&loads, "load", "graphURI=file.nt pair to load (repeatable)")
@@ -139,6 +140,7 @@ func main() {
 	eng := sparql.NewEngine(st)
 	eng.SetTimeout(*timeout)
 	eng.Parallelism = *parallel
+	eng.DisableWCOJ = *noWCOJ
 	if *cacheOn {
 		eng.EnableCache(sparql.DefaultPlanCacheEntries, *cacheRows)
 		log.Printf("serving caches on: %d plan entries, %d result rows", sparql.DefaultPlanCacheEntries, *cacheRows)

@@ -203,6 +203,9 @@ type JSONReport struct {
 	// Traffic holds the multi-client load numbers (admission control,
 	// shedding, stampede protection) when benchrunner measured them.
 	Traffic *TrafficReport `json:"traffic,omitempty"`
+	// Wcoj holds the worst-case-optimal join numbers (binary pipeline vs
+	// leapfrog triejoin and byte-identity) when benchrunner measured them.
+	Wcoj *WCOJReport `json:"wcoj,omitempty"`
 	// Metrics holds per-figure counter deltas scraped off the benchmark
 	// environment's registry — cache hits, evaluations, HTTP outcomes —
 	// attributing engine work to the workload that caused it.

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+// WCOJQuery is one Figure-5 query measured with the binary join pipeline
+// (DisableWCOJ) versus the worst-case-optimal operator, directly on the
+// engine (no HTTP), at Parallelism 1 so the comparison isolates the join
+// algorithm from the morsel pool.
+type WCOJQuery struct {
+	Task string `json:"task"`
+	Rows int    `json:"rows"`
+	// Chosen records whether the cost model actually picked the WCOJ
+	// operator for this query's plan; when false the two timings measure
+	// the same binary pipeline and the speedup is noise around 1.0x.
+	Chosen bool `json:"chosen"`
+	// BinarySeconds is the evaluation time with DisableWCOJ (hash-join
+	// pipeline only); WCOJSeconds with the operator available.
+	BinarySeconds float64 `json:"binary_seconds"`
+	WCOJSeconds   float64 `json:"wcoj_seconds"`
+	// Speedup is BinarySeconds / WCOJSeconds.
+	Speedup float64 `json:"speedup"`
+	// ByteIdentical records that the WCOJ evaluation's SPARQL JSON was
+	// byte-identical to the binary one — the operator's correctness
+	// contract.
+	ByteIdentical bool `json:"byte_identical"`
+	// Seeks and Backtracks are the operator's iterator-seek and dead-end
+	// counts over one evaluation of this query (zero when not chosen).
+	Seeks      uint64 `json:"seeks"`
+	Backtracks uint64 `json:"backtracks"`
+}
+
+// WCOJReport captures the worst-case-optimal join benchmark: the Figure-5
+// suite with the operator on versus off.
+type WCOJReport struct {
+	// StatsEpoch is the statistics-catalog epoch the plans were costed
+	// against.
+	StatsEpoch uint64 `json:"stats_epoch"`
+	BestOf     int    `json:"best_of"`
+	// ChosenQueries counts plans where the cost model picked WCOJ.
+	ChosenQueries int `json:"chosen_queries"`
+	// BinarySuiteSeconds/WCOJSuiteSeconds sum the per-query times over the
+	// chosen subset only; Speedup is their ratio. The unchosen queries run
+	// the identical pipeline on both engines, so including them would
+	// dilute the comparison with noise.
+	BinarySuiteSeconds float64 `json:"binary_suite_seconds"`
+	WCOJSuiteSeconds   float64 `json:"wcoj_suite_seconds"`
+	Speedup            float64 `json:"speedup"`
+
+	Queries []WCOJQuery `json:"queries"`
+}
+
+// MeasureWCOJ evaluates every Figure-5 query with the WCOJ operator
+// disabled and enabled, timing each with a best-of-bestOf, checking the
+// two result serializations byte for byte, and recording the operator's
+// seek/backtrack counters per query.
+func MeasureWCOJ(env *Env, bestOf int, timeout time.Duration) (*WCOJReport, error) {
+	if bestOf < 1 {
+		bestOf = 1
+	}
+	binEng := sparql.NewEngine(env.Store)
+	binEng.SetTimeout(timeout)
+	binEng.Parallelism = 1
+	binEng.DisableWCOJ = true
+	wcojEng := sparql.NewEngine(env.Store)
+	wcojEng.SetTimeout(timeout)
+	wcojEng.Parallelism = 1
+
+	rep := &WCOJReport{StatsEpoch: env.Store.StatsEpoch(), BestOf: bestOf}
+	for _, task := range Synthetic() {
+		query, err := task.Frame(env).ToSPARQL()
+		if err != nil {
+			return nil, fmt.Errorf("bench wcoj %s: %w", task.ID, err)
+		}
+		exp, err := wcojEng.Explain(query)
+		if err != nil {
+			return nil, fmt.Errorf("bench wcoj %s: explain: %w", task.ID, err)
+		}
+		qq := WCOJQuery{Task: task.ID, Chosen: strings.Contains(exp.PlanText(), "wcoj ")}
+
+		want, err := evalJSON(binEng, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench wcoj %s: binary: %w", task.ID, err)
+		}
+		_, seeks0, backs0, _ := wcojEng.WCOJStats()
+		got, err := evalJSON(wcojEng, query)
+		if err != nil {
+			return nil, fmt.Errorf("bench wcoj %s: wcoj: %w", task.ID, err)
+		}
+		_, seeks1, backs1, _ := wcojEng.WCOJStats()
+		qq.Seeks, qq.Backtracks = seeks1-seeks0, backs1-backs0
+		res, err := sparql.ReadJSON(bytes.NewReader(want))
+		if err != nil {
+			return nil, fmt.Errorf("bench wcoj %s: decode: %w", task.ID, err)
+		}
+		qq.Rows = len(res.Rows)
+		qq.ByteIdentical = bytes.Equal(want, got)
+
+		qq.BinarySeconds, err = timeBestSeconds(bestOf, func() error {
+			_, err := binEng.Query(query)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench wcoj %s: binary timing: %w", task.ID, err)
+		}
+		qq.WCOJSeconds, err = timeBestSeconds(bestOf, func() error {
+			_, err := wcojEng.Query(query)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench wcoj %s: wcoj timing: %w", task.ID, err)
+		}
+		if qq.WCOJSeconds > 0 {
+			qq.Speedup = qq.BinarySeconds / qq.WCOJSeconds
+		}
+		if qq.Chosen {
+			rep.ChosenQueries++
+			rep.BinarySuiteSeconds += qq.BinarySeconds
+			rep.WCOJSuiteSeconds += qq.WCOJSeconds
+		}
+		rep.Queries = append(rep.Queries, qq)
+	}
+	if rep.WCOJSuiteSeconds > 0 {
+		rep.Speedup = rep.BinarySuiteSeconds / rep.WCOJSuiteSeconds
+	}
+	return rep, nil
+}
+
+// FormatWCOJ renders the worst-case-optimal join numbers as a text table.
+func FormatWCOJ(rep *WCOJReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Worst-case-optimal joins: Figure-5 suite, binary pipeline vs leapfrog triejoin (stats epoch %d)\n", rep.StatsEpoch)
+	fmt.Fprintf(&sb, "%-6s %8s %6s %12s %12s %10s %6s %10s %10s\n",
+		"query", "rows", "wcoj", "binary (s)", "wcoj (s)", "speedup", "same", "seeks", "backtracks")
+	for _, q := range rep.Queries {
+		same := "yes"
+		if !q.ByteIdentical {
+			same = "NO"
+		}
+		chosen := "-"
+		if q.Chosen {
+			chosen = "yes"
+		}
+		fmt.Fprintf(&sb, "%-6s %8d %6s %12.6f %12.6f %9.2fx %6s %10d %10d\n",
+			q.Task, q.Rows, chosen, q.BinarySeconds, q.WCOJSeconds, q.Speedup, same, q.Seeks, q.Backtracks)
+	}
+	fmt.Fprintf(&sb, "chosen subset (%d queries): %.4fs binary -> %.4fs wcoj (%.2fx, best of %d)\n",
+		rep.ChosenQueries, rep.BinarySuiteSeconds, rep.WCOJSuiteSeconds, rep.Speedup, rep.BestOf)
+	return sb.String()
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+// TestWCOJByteIdenticalFigure5 is the WCOJ operator's correctness property:
+// for every Figure-5 query, evaluation with the worst-case-optimal join
+// available — at parallelism 1 and on a 4-worker morsel pool —
+// serializes byte-identically to the binary hash-join pipeline
+// (DisableWCOJ). Run under -race in CI, this also hammers the parallel
+// trie enumeration's range-partitioned walkers.
+func TestWCOJByteIdenticalFigure5(t *testing.T) {
+	env := sharedEnv(t)
+	bin := sparql.NewEngine(env.Store)
+	bin.SetTimeout(time.Minute)
+	bin.Parallelism = 1
+	bin.DisableWCOJ = true
+	wcoj1 := sparql.NewEngine(env.Store)
+	wcoj1.SetTimeout(time.Minute)
+	wcoj1.Parallelism = 1
+	wcoj4 := sparql.NewEngine(env.Store)
+	wcoj4.SetTimeout(time.Minute)
+	wcoj4.Parallelism = 4
+
+	for _, task := range Synthetic() {
+		t.Run(task.ID, func(t *testing.T) {
+			query, err := task.Frame(env).ToSPARQL()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := evalJSON(bin, query)
+			if err != nil {
+				t.Fatalf("binary: %v", err)
+			}
+			got1, err := evalJSON(wcoj1, query)
+			if err != nil {
+				t.Fatalf("wcoj serial: %v", err)
+			}
+			got4, err := evalJSON(wcoj4, query)
+			if err != nil {
+				t.Fatalf("wcoj parallel: %v", err)
+			}
+			if !bytes.Equal(want, got1) {
+				t.Errorf("wcoj serial result differs from binary pipeline")
+			}
+			if !bytes.Equal(want, got4) {
+				t.Errorf("wcoj 4-worker result differs from binary pipeline")
+			}
+		})
+	}
+	if seg, _, _, _ := wcoj1.WCOJStats(); seg == 0 {
+		t.Error("no Figure-5 query executed a WCOJ segment; the property test is vacuous")
+	}
+	if seg, _, _, _ := wcoj4.WCOJStats(); seg == 0 {
+		t.Error("no Figure-5 query executed a parallel WCOJ segment")
+	}
+	if seg, _, _, _ := bin.WCOJStats(); seg != 0 {
+		t.Error("DisableWCOJ engine executed a WCOJ segment")
+	}
+}
+
+// TestMeasureWCOJSmoke runs the WCOJ benchmark end to end at test scale and
+// sanity-checks the report shape benchcheck relies on.
+func TestMeasureWCOJSmoke(t *testing.T) {
+	env := sharedEnv(t)
+	rep, err := MeasureWCOJ(env, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Queries) != len(Synthetic()) {
+		t.Fatalf("queries = %d, want %d", len(rep.Queries), len(Synthetic()))
+	}
+	if rep.ChosenQueries == 0 {
+		t.Fatal("cost model chose WCOJ for no Figure-5 query")
+	}
+	for _, q := range rep.Queries {
+		if !q.ByteIdentical {
+			t.Errorf("%s: not byte-identical", q.Task)
+		}
+		if q.BinarySeconds <= 0 || q.WCOJSeconds <= 0 {
+			t.Errorf("%s: empty timing", q.Task)
+		}
+		if q.Chosen && q.Seeks == 0 {
+			t.Errorf("%s: chosen but recorded no iterator seeks", q.Task)
+		}
+		if !q.Chosen && (q.Seeks != 0 || q.Backtracks != 0) {
+			t.Errorf("%s: not chosen but moved WCOJ counters", q.Task)
+		}
+	}
+}

@@ -16,6 +16,14 @@ import "context"
 func (qp *queryPlan) estimatedCost() float64 {
 	var cost float64
 	for _, bp := range qp.bgps {
+		if bp.wcoj != nil {
+			// The optimizer chose the trie walk for this segment; its
+			// per-level estimates are the segment's expected work.
+			for _, ln := range bp.wcoj.levels {
+				cost += ln.Est
+			}
+			continue
+		}
 		for _, est := range bp.est {
 			cost += est
 		}

@@ -41,6 +41,17 @@ type Engine struct {
 	// DisablePushdown turns off early filter application during BGP
 	// evaluation (for ablation benchmarks).
 	DisablePushdown bool
+	// DisableWCOJ turns off the worst-case-optimal join operator, so every
+	// BGP segment runs the binary join pipeline (the identity baseline for
+	// the WCOJ byte-identity gate and ablation benchmarks). Like
+	// Parallelism, set before serving traffic: cached plans are not
+	// re-planned when it changes.
+	DisableWCOJ bool
+
+	// wcojStats counts worst-case-optimal join activity (segments, run
+	// seeks, backtracks, runtime fallbacks); exported as the
+	// rdfframes_wcoj_* metric family.
+	wcojStats wcojCounters
 
 	// plans caches parsed queries by text together with their optimized
 	// plans (re-optimized whenever the store's stats epoch moves); results
@@ -94,6 +105,15 @@ func (e *Engine) SetEvalHook(h func(ctx context.Context) error) {
 // Evaluations returns how many times the engine has actually run its
 // evaluator — cache hits and coalesced (singleflight) waits do not count.
 func (e *Engine) Evaluations() uint64 { return e.evals.Load() }
+
+// WCOJStats reports the cumulative worst-case-optimal join counters:
+// segments executed by the trie walk, sorted-run iterator seeks, dead-end
+// backtracks, and planned segments that fell back to the binary pipeline
+// at run time. The same atomics back the rdfframes_wcoj_* metric family.
+func (e *Engine) WCOJStats() (segments, seeks, backtracks, fallbacks uint64) {
+	return e.wcojStats.segments.Load(), e.wcojStats.seeks.Load(),
+		e.wcojStats.backtracks.Load(), e.wcojStats.fallbacks.Load()
+}
 
 // parallelism resolves the effective worker count for one query.
 func (e *Engine) parallelism() int {
@@ -174,6 +194,7 @@ func (e *Engine) evalLocked(ctx context.Context, q *Query, qp *queryPlan) (*Resu
 		disablePushdown: e.DisablePushdown,
 		qp:              qp,
 		workers:         e.parallelism(),
+		wcojCtr:         &e.wcojStats,
 	}
 	ev.tk.ctx = ctx
 	if d := e.Timeout(); d > 0 {

@@ -36,6 +36,9 @@ type evaluator struct {
 	// cardMemo memoizes base cardinality probes per (pattern, graphs) for
 	// the lifetime of this query; see baseCardinality.
 	cardMemo map[cardKey]float64
+	// wcojCtr points at the engine's WCOJ counters (nil in unit-evaluator
+	// tests); see wcoj.go.
+	wcojCtr *wcojCounters
 }
 
 // cardKey identifies one base-cardinality probe: the pattern (variables
@@ -620,6 +623,18 @@ func (ev *evaluator) applyFilter(current *idRows, f groupFilter) error {
 func (ev *evaluator) evalBGP(current *idRows, patterns []TriplePattern, graphs []string, filters *[]groupFilter, bp *bgpPlan) (*idRows, error) {
 	if current.n == 0 {
 		return current, nil
+	}
+	if bp != nil && bp.wcoj != nil && len(bp.order) == len(patterns) {
+		// The trie walk evaluates the whole segment from the unit solution;
+		// any other input (possible only if planner and evaluator disagree
+		// about what precedes this segment) falls through to the binary
+		// pipeline below, which is byte-equivalent.
+		if current.n == 1 && current.width() == 0 {
+			return ev.evalWCOJSegment(bp.wcoj, filters)
+		}
+		if ev.wcojCtr != nil {
+			ev.wcojCtr.fallbacks.Add(1)
+		}
 	}
 	bound := map[string]bool{}
 	for c, v := range current.vars {

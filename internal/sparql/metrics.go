@@ -33,6 +33,19 @@ func (e *Engine) RegisterMetrics(reg *obs.Registry) {
 		"Evaluator runs (cache hits and coalesced waits do not count).",
 		func() float64 { return float64(e.Evaluations()) })
 
+	reg.CounterFunc("rdfframes_wcoj_segments_total",
+		"BGP segments executed by the worst-case-optimal (leapfrog triejoin) operator.",
+		func() float64 { return float64(e.wcojStats.segments.Load()) })
+	reg.CounterFunc("rdfframes_wcoj_seeks_total",
+		"Sorted-run iterator seeks performed by WCOJ level intersections.",
+		func() float64 { return float64(e.wcojStats.seeks.Load()) })
+	reg.CounterFunc("rdfframes_wcoj_backtracks_total",
+		"Dead-end prefixes abandoned during WCOJ trie enumeration.",
+		func() float64 { return float64(e.wcojStats.backtracks.Load()) })
+	reg.CounterFunc("rdfframes_wcoj_fallbacks_total",
+		"Planned WCOJ segments that ran the binary join pipeline at run time.",
+		func() float64 { return float64(e.wcojStats.fallbacks.Load()) })
+
 	reg.GaugeFunc("rdfframes_store_version",
 		"Store mutation epoch; cached results are keyed to it.",
 		func() float64 { return float64(e.Store.Version()) })

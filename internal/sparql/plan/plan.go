@@ -57,6 +57,36 @@ func Order(pats []Pattern, bound map[string]bool) (perm []int, est []float64) {
 	}
 }
 
+// correlationCap floors the modeled cumulative cardinality after joining p
+// into a prefix with cardinality prev, when p shares at least one bound
+// variable with that prefix. Multiplying per-position selectivities
+// independently assumes the shared variable's values are uncorrelated with
+// the rest of the pattern, which collapses star-shaped estimates on hub
+// nodes (every subject that has p1 tends to also have p2, so the join loses
+// far fewer rows than independence predicts). The cap is the classic "min
+// of the joined sides": a join on a shared key is modeled as no more
+// selective than keeping the smaller input.
+func correlationCap(card, prev float64, p *Pattern) float64 {
+	floor := prev
+	if p.Card < floor {
+		floor = p.Card
+	}
+	if card < floor {
+		card = floor
+	}
+	return card
+}
+
+// sharesBound reports whether any variable of p is already bound.
+func sharesBound(p *Pattern, bound map[string]bool) bool {
+	for k := 0; k < 3; k++ {
+		if v := p.Vars[k]; v != "" && bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
 // fanout models the expected number of result rows one input row produces
 // when extended by p: the pattern's base cardinality discounted by the
 // selectivity of every position whose variable is already bound.
@@ -147,6 +177,9 @@ func orderDP(pats []Pattern, bound map[string]bool) (perm []int, est []float64) 
 				continue
 			}
 			card := st.card * fanoutMasked(i, vars)
+			if patVars[i]&vars != 0 {
+				card = correlationCap(card, st.card, &pats[i])
+			}
 			cost := st.cost + card
 			next := mask | 1<<i
 			if !states[next].set || cost < states[next].cost {
@@ -193,7 +226,11 @@ func orderGreedy(pats []Pattern, bound map[string]bool) (perm []int, est []float
 			}
 		}
 		used[best] = true
+		prev := card
 		card *= bestF
+		if sharesBound(&pats[best], b) {
+			card = correlationCap(card, prev, &pats[best])
+		}
 		perm = append(perm, best)
 		est = append(est, card)
 		for k := 0; k < 3; k++ {

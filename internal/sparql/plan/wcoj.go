@@ -1,0 +1,159 @@
+package plan
+
+import (
+	"math"
+	"sort"
+)
+
+// WCOJPlan describes a worst-case-optimal (leapfrog-triejoin) evaluation of
+// one basic graph pattern: the global variable elimination order, the
+// modeled cumulative cardinality after each trie level, and the summed cost
+// that the planner compares against the binary-join plan's cost.
+type WCOJPlan struct {
+	// VarOrder is the variable elimination order: level i intersects the
+	// candidate runs of VarOrder[i] across every pattern that mentions it.
+	VarOrder []string
+	// LevelEst is the modeled cumulative number of partial assignments
+	// alive after each level (parallel to VarOrder).
+	LevelEst []float64
+	// Cost is the sum of LevelEst — the same intermediate-cardinality proxy
+	// Order minimizes for binary plans, so the two are comparable.
+	Cost float64
+}
+
+// WCOJ models a leapfrog-triejoin evaluation of pats and returns its plan,
+// or (nil, false) when the shape does not qualify: worst-case-optimal
+// enumeration only beats binary joins when some variable is shared by at
+// least three patterns (a star hub or a cycle), so sparser shapes are left
+// to the pairwise planner. Structural eligibility beyond shape — constant
+// predicates, no repeated variables within a pattern — is the caller's
+// responsibility, since it depends on the concrete triple patterns the
+// Pattern abstraction no longer carries.
+func WCOJ(pats []Pattern) (*WCOJPlan, bool) {
+	if len(pats) < 3 {
+		return nil, false
+	}
+	// Degree of each variable: the number of patterns that mention it.
+	deg := map[string]int{}
+	for i := range pats {
+		for _, v := range patternVars(&pats[i]) {
+			deg[v]++
+		}
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 3 {
+		return nil, false
+	}
+
+	// Candidate estimate per variable: the smallest distinct-value count any
+	// single pattern admits for it (intersection can only shrink it).
+	cand := make(map[string]float64, len(deg))
+	for v := range deg {
+		cand[v] = math.MaxFloat64
+	}
+	for i := range pats {
+		p := &pats[i]
+		for k := 0; k < 3; k++ {
+			v := p.Vars[k]
+			if v == "" {
+				continue
+			}
+			if c := distinctAt(p, k); c < cand[v] {
+				cand[v] = c
+			}
+		}
+	}
+
+	// Elimination order: most-shared variables first (they constrain the
+	// most patterns), then fewest candidates, then name — fully
+	// deterministic for identical inputs.
+	order := make([]string, 0, len(deg))
+	for v := range deg {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if deg[a] != deg[b] {
+			return deg[a] > deg[b]
+		}
+		if cand[a] != cand[b] {
+			return cand[a] < cand[b]
+		}
+		return a < b
+	})
+
+	// Per-level cost: each level multiplies the live assignment count by
+	// the modeled size of the candidate intersection, which is the minimum
+	// over the participating patterns of that pattern's contribution.
+	bound := make(map[string]bool, len(order))
+	est := make([]float64, len(order))
+	card, cost := 1.0, 0.0
+	for li, v := range order {
+		f := math.MaxFloat64
+		for i := range pats {
+			p := &pats[i]
+			for k := 0; k < 3; k++ {
+				if p.Vars[k] != v {
+					continue
+				}
+				// Rows of p consistent with the current prefix bound the
+				// candidates, as does the pattern's distinct-value count
+				// for this position.
+				c := fanout(p, bound)
+				if d := distinctAt(p, k); d < c {
+					c = d
+				}
+				if c < f {
+					f = c
+				}
+			}
+		}
+		if f < minFanout {
+			f = minFanout
+		}
+		card *= f
+		est[li] = card
+		cost += card
+		bound[v] = true
+	}
+	return &WCOJPlan{VarOrder: order, LevelEst: est, Cost: cost}, true
+}
+
+// patternVars returns the distinct variable names of p in position order.
+func patternVars(p *Pattern) []string {
+	var vs []string
+	for k := 0; k < 3; k++ {
+		v := p.Vars[k]
+		if v == "" {
+			continue
+		}
+		dup := false
+		for _, u := range vs {
+			if u == v {
+				dup = true
+			}
+		}
+		if !dup {
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// distinctAt estimates the distinct values pattern p admits at position k:
+// the inverse of the position's selectivity (Sel ≈ 1/distinct), capped at
+// the pattern's cardinality.
+func distinctAt(p *Pattern, k int) float64 {
+	c := p.Card
+	if s := p.Sel[k]; s > 0 && s <= 1 {
+		if d := 1 / s; d < c {
+			c = d
+		}
+	}
+	return c
+}

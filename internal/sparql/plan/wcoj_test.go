@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWCOJRequiresSharedDegreeThree(t *testing.T) {
+	// A two-hop chain: no variable is in three patterns, so WCOJ declines.
+	chain := []Pattern{
+		pat(100, "a", "b", 0.1),
+		pat(100, "b", "c", 0.1),
+		pat(100, "c", "d", 0.1),
+	}
+	if p, ok := WCOJ(chain); ok {
+		t.Fatalf("chain accepted: %+v", p)
+	}
+	if _, ok := WCOJ(chain[:2]); ok {
+		t.Fatal("two patterns accepted")
+	}
+}
+
+func TestWCOJStarOrder(t *testing.T) {
+	// Star on hub ?s with three leaves: the hub must be eliminated first,
+	// and every level must carry a positive estimate.
+	star := []Pattern{
+		pat(1000, "s", "o1", 0.01),
+		pat(500, "s", "o2", 0.01),
+		pat(2000, "s", "o3", 0.01),
+	}
+	p, ok := WCOJ(star)
+	if !ok {
+		t.Fatal("star rejected")
+	}
+	if p.VarOrder[0] != "s" {
+		t.Fatalf("VarOrder = %v, want hub first", p.VarOrder)
+	}
+	if len(p.LevelEst) != len(p.VarOrder) || len(p.VarOrder) != 4 {
+		t.Fatalf("order %v / est %v, want 4 levels", p.VarOrder, p.LevelEst)
+	}
+	cost := 0.0
+	for i, e := range p.LevelEst {
+		if e <= 0 {
+			t.Fatalf("LevelEst[%d] = %f, want positive", i, e)
+		}
+		cost += e
+	}
+	if p.Cost != cost {
+		t.Fatalf("Cost = %f, want sum of levels %f", p.Cost, cost)
+	}
+	// Hub candidates are bounded by the smallest participating pattern's
+	// distinct-subject count (500 rows × sel 0.01 → 100 distinct at most,
+	// whichever way the model rounds it must not exceed the smallest side).
+	if p.LevelEst[0] > 500 {
+		t.Fatalf("hub LevelEst = %f, want <= smallest side", p.LevelEst[0])
+	}
+}
+
+func TestWCOJTriangleEligible(t *testing.T) {
+	// Triangle a-b, b-c, c-a plus a fourth pattern re-reading ?a: degree of
+	// ?a is 3, so the cyclic shape qualifies.
+	tri := []Pattern{
+		pat(100, "a", "b", 0.1),
+		pat(100, "b", "c", 0.1),
+		pat(100, "c", "a", 0.1),
+		pat(100, "a", "d", 0.1),
+	}
+	p, ok := WCOJ(tri)
+	if !ok {
+		t.Fatal("cycle rejected")
+	}
+	if p.VarOrder[0] != "a" {
+		t.Fatalf("VarOrder = %v, want the degree-3 variable first", p.VarOrder)
+	}
+}
+
+func TestWCOJDeterministic(t *testing.T) {
+	star := []Pattern{
+		pat(100, "s", "x", 0.1),
+		pat(100, "s", "y", 0.1),
+		pat(100, "s", "z", 0.1),
+	}
+	p1, _ := WCOJ(star)
+	p2, _ := WCOJ(star)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("non-deterministic: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestOrderStarCorrelationCap(t *testing.T) {
+	// Star on a hub where independence would collapse the estimate: three
+	// patterns of 100 rows sharing ?s with sel 0.001 each. Uncapped, the
+	// cumulative estimate after three joins is 100 × 0.1 × 0.1 = 1; the
+	// correlation cap floors each join at the smaller side instead.
+	star := []Pattern{
+		pat(100, "s", "o1", 0.001),
+		pat(100, "s", "o2", 0.001),
+		pat(100, "s", "o3", 0.001),
+	}
+	_, est := Order(star, nil)
+	if est[len(est)-1] < 100 {
+		t.Fatalf("final est = %f, want >= 100 (correlation cap)", est[len(est)-1])
+	}
+}

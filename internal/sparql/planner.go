@@ -53,6 +53,11 @@ type bgpPlan struct {
 	drop [][]string
 	// nodes[i] is step i's plan-tree node (actuals recorded when tracking).
 	nodes []*plan.Node
+	// wcoj, when non-nil, replaces the binary pipeline for this segment with
+	// a leapfrog triejoin (see wcoj.go). order/est/drop/nodes stay populated
+	// as the runtime fallback for evaluations whose input is not the unit
+	// solution the trie walk requires.
+	wcoj *wcojSeg
 }
 
 // queryPlan is one optimized query: the plan tree plus the per-segment
@@ -144,6 +149,9 @@ type planner struct {
 	// whole query (patterns, filters, expressions, projections); the prune
 	// schedule drops a column once all its occurrences are behind it.
 	uses map[string]int
+	// noWCOJ disables the worst-case-optimal join operator (the
+	// Engine.DisableWCOJ ablation knob), leaving every segment binary.
+	noWCOJ bool
 }
 
 // buildPlan optimizes q against the current statistics catalog. track
@@ -165,7 +173,8 @@ func (e *Engine) buildPlan(q *Query, track bool) *queryPlan {
 			aggs:      map[*Query]*plan.Node{},
 			distincts: map[*Query]*plan.Node{},
 		},
-		uses: map[string]int{},
+		uses:   map[string]int{},
+		noWCOJ: e.DisableWCOJ,
 	}
 	countQueryUses(q, p.uses)
 	// The pattern-cardinality probes read index map lengths; hold the read
@@ -384,6 +393,52 @@ func (p *planner) planBGP(g *Group, seg int, patterns []TriplePattern, active []
 	}
 	for _, d := range bp.drop {
 		sort.Strings(d)
+	}
+
+	// Star/cycle segments may beat the binary pipeline with one multiway
+	// intersection. The wcoj node replaces the scan chain in the plan tree;
+	// the binary nodes are still built (below, filter-free) so the runtime
+	// fallback can record actuals, and the segment's drops collapse into one
+	// end-of-segment prune.
+	if w := p.tryWCOJ(patterns, pats, active, bound, est); w != nil {
+		bp.wcoj = w
+		w.endDrop = sortedUnion(bp.drop)
+		bp.nodes = make([]*plan.Node, len(order))
+		for step, pi := range order {
+			n := plan.NewNode("scan", pats[pi].Label)
+			n.Est = est[step]
+			bp.nodes[step] = n
+		}
+		for _, pat := range patterns {
+			for _, v := range pat.Vars() {
+				bound[v] = true
+			}
+		}
+		for fi := range filters {
+			if filters[fi].placed {
+				continue
+			}
+			ready := true
+			for _, v := range filters[fi].vars {
+				if !bound[v] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				w.node.Add(p.filterNode(filters[fi].ref, filters[fi].cond, "pushed down"))
+				filters[fi].placed = true
+			}
+		}
+		if len(w.endDrop) > 0 {
+			quoted := make([]string, len(w.endDrop))
+			for i, v := range w.endDrop {
+				quoted[i] = "?" + v
+			}
+			w.node.Add(plan.NewNode("prune", strings.Join(quoted, " ")))
+		}
+		p.qp.bgps[bgpRef{g, seg}] = bp
+		return []*plan.Node{w.node}
 	}
 
 	nodes := make([]*plan.Node, len(order))

@@ -1,0 +1,202 @@
+package store
+
+import "sort"
+
+// Sorted-run access for the worst-case-optimal join executor. A Run is one
+// trie level of an index rotation materialized as a sorted, duplicate-free
+// id slice — the subjects carrying a predicate, the objects of one (s, p)
+// pair, and so on — and a RunIterator seeks through it with the
+// Seek(id)/Next() contract leapfrog triejoin needs. Like MatchParts, the
+// API is read-only over the store and safe for concurrent use while the
+// evaluator holds the store read lock.
+//
+// The adjacency slices the indexes keep are insertion-ordered, not sorted,
+// so runs are derived: sorted copies of the inner slices for the leaf
+// levels, and sorted distinct key sets for the per-predicate levels (which
+// no single index rotation stores contiguously). Derived runs are memoized
+// per graph under runMu, keyed by the graph's triple count — any insert
+// changes the count, so a stale run can never be served after a mutation.
+
+// runKind discriminates the memo cache's run families.
+type runKind uint8
+
+const (
+	runSubjectsOfPred runKind = iota // distinct subjects carrying predicate a
+	runObjectsOfPred                 // distinct objects of predicate a
+	runObjectsSP                     // objects of the (a=s, b=p) pair
+	runSubjectsPO                    // subjects of the (a=p, b=o) pair
+)
+
+// runKey identifies one memoized run.
+type runKey struct {
+	kind runKind
+	a, b ID
+}
+
+// Run is a sorted, duplicate-free id slice: one trie level of an index
+// rotation. The slice is owned by the graph's memo cache and must not be
+// modified.
+type Run []ID
+
+// SubjectsOfPred returns the sorted distinct subjects that carry predicate
+// p — the hub-variable run of a star pattern (?s p ?o). Derived from the
+// byPred projection and memoized.
+func (g *Graph) SubjectsOfPred(p ID) Run {
+	return g.run(runKey{runSubjectsOfPred, p, 0}, func() []ID {
+		triples := g.byPred[p]
+		seen := make(map[ID]struct{}, len(g.spo))
+		ids := make([]ID, 0, len(triples))
+		for _, t := range triples {
+			if _, ok := seen[t.S]; !ok {
+				seen[t.S] = struct{}{}
+				ids = append(ids, t.S)
+			}
+		}
+		return ids
+	})
+}
+
+// ObjectsOfPred returns the sorted distinct objects of predicate p (the
+// keys of the POS inner map), memoized.
+func (g *Graph) ObjectsOfPred(p ID) Run {
+	return g.run(runKey{runObjectsOfPred, p, 0}, func() []ID {
+		objs := g.pos[p]
+		ids := make([]ID, 0, len(objs))
+		for o := range objs {
+			ids = append(ids, o)
+		}
+		return ids
+	})
+}
+
+// ObjectsSP returns the sorted objects of the (s, p) pair — the leaf run of
+// the SPO rotation. Adjacency slices are duplicate-free by construction, so
+// an already-ascending slice (the common case: ids are assigned in
+// insertion order) is served directly, keeping the per-binding inner loop
+// of the trie walk off the memo lock; only genuinely unsorted slices pay
+// for a memoized sorted copy.
+func (g *Graph) ObjectsSP(s, p ID) Run {
+	ids := g.spo[s][p]
+	if len(ids) == 0 {
+		return nil
+	}
+	if ascending(ids) {
+		return ids
+	}
+	return g.run(runKey{runObjectsSP, s, p}, func() []ID {
+		out := make([]ID, len(ids))
+		copy(out, ids)
+		return out
+	})
+}
+
+// SubjectsPO returns the sorted subjects of the (p, o) pair — the leaf run
+// of the POS rotation. Served directly when already ascending (see
+// ObjectsSP), memoized otherwise.
+func (g *Graph) SubjectsPO(p, o ID) Run {
+	ids := g.pos[p][o]
+	if len(ids) == 0 {
+		return nil
+	}
+	if ascending(ids) {
+		return ids
+	}
+	return g.run(runKey{runSubjectsPO, p, o}, func() []ID {
+		out := make([]ID, len(ids))
+		copy(out, ids)
+		return out
+	})
+}
+
+// ascending reports whether ids is strictly ascending (sorted and
+// duplicate-free).
+func ascending(ids []ID) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// run answers a memoized run, building (and sorting) it on first use. The
+// cache is keyed to the graph's triple count: graphs only grow, so a count
+// mismatch means the graph changed since the cache was filled and the whole
+// cache is discarded. Readers hold the store read lock, so g.n is stable for
+// the duration of a call; runMu serializes concurrent readers filling the
+// cache.
+func (g *Graph) run(key runKey, build func() []ID) Run {
+	g.runMu.Lock()
+	defer g.runMu.Unlock()
+	if g.runN != g.n || g.runs == nil {
+		g.runs = make(map[runKey][]ID)
+		g.runN = g.n
+	}
+	if ids, ok := g.runs[key]; ok {
+		return ids
+	}
+	ids := build()
+	sortIDs(ids)
+	g.runs[key] = ids
+	return ids
+}
+
+// sortIDs sorts ids ascending. Runs are built once per graph state, so the
+// standard sort is fine here.
+func sortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// RunIterator walks a Run with the leapfrog-triejoin contract: At() is the
+// current id, Next() advances by one, and Seek(id) advances to the first
+// element >= id (never moving backwards). Past the last element the
+// iterator is Done and stays Done.
+type RunIterator struct {
+	run Run
+	pos int
+}
+
+// NewRunIterator returns an iterator positioned at the first element of
+// run (Done immediately when run is empty).
+func NewRunIterator(run Run) RunIterator { return RunIterator{run: run} }
+
+// Done reports that the iterator moved past the last element.
+func (it *RunIterator) Done() bool { return it.pos >= len(it.run) }
+
+// At returns the current id. Undefined when Done.
+func (it *RunIterator) At() ID { return it.run[it.pos] }
+
+// Next advances to the next element.
+func (it *RunIterator) Next() { it.pos++ }
+
+// Seek advances to the first element >= id, by galloping from the current
+// position (doubling probe distance, then binary search within the
+// bracketed window): successive seeks through a run cost amortized
+// O(1 + log gap) instead of O(log n) each. Seeking backwards is a no-op —
+// the iterator never rewinds — and seeking past the end leaves it Done.
+func (it *RunIterator) Seek(id ID) {
+	if it.pos >= len(it.run) || it.run[it.pos] >= id {
+		return
+	}
+	// Gallop: find the smallest window (lo, hi] with run[hi] >= id.
+	lo, step := it.pos, 1
+	hi := it.pos + step
+	for hi < len(it.run) && it.run[hi] < id {
+		lo = hi
+		step *= 2
+		hi = it.pos + step
+	}
+	if hi > len(it.run) {
+		hi = len(it.run)
+	}
+	// Binary search (lo, hi): run[lo] < id, run[hi] >= id (or hi == len).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if it.run[mid] < id {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	it.pos = hi
+}

@@ -134,6 +134,13 @@ type Graph struct {
 	// statistic not readable as an index length (see stats.go).
 	predSubj map[ID]int
 	n        int
+
+	// runMu guards the sorted-run memo cache (see runs.go): runs holds the
+	// derived runs built for the graph state with runN triples, and a
+	// mismatch with n discards the cache wholesale.
+	runMu sync.Mutex
+	runs  map[runKey][]ID
+	runN  int
 }
 
 func newGraph() *Graph {
