@@ -13,8 +13,8 @@
 //   - no fresh measurement has an empty timing (zero seconds without an
 //     error) and none reports an error,
 //   - result byte-identity flags recorded by the serving, parallel,
-//     planner, and wcoj sections are all true (a false one is a
-//     determinism or planner-correctness regression),
+//     planner, wcoj, and mutations sections are all true (a false one is a
+//     determinism, planner-correctness, or crash-recovery regression),
 //   - the traffic section upholds the load-shedding contract: Retry-After
 //     on every shed, zero unexpected errors or identity violations, and a
 //     stampede coalesced into exactly one evaluation,
@@ -22,7 +22,7 @@
 //
 // -strict additionally requires every section named by -sections (figure
 // numbers and/or "storage", "serving", "parallel", "planner", "traffic",
-// "wcoj") to be present in the fresh report — a missing section means the harness
+// "wcoj", "mutations") to be present in the fresh report — a missing section means the harness
 // silently dropped a workload and is a hard failure.
 //
 // -metrics switches benchcheck into a second mode: instead of diffing
@@ -60,7 +60,7 @@ func main() {
 	freshPath := flag.String("fresh", "", "freshly generated report to check")
 	warnRatio := flag.Float64("warn-ratio", 3, "warn when a shared measurement's timing ratio exceeds this (either direction)")
 	strict := flag.Bool("strict", false, "missing -sections entries become hard failures")
-	sections := flag.String("sections", "", "comma-separated sections the fresh report must contain under -strict (e.g. 5,serving,parallel,planner,wcoj)")
+	sections := flag.String("sections", "", "comma-separated sections the fresh report must contain under -strict (e.g. 5,serving,parallel,planner,wcoj,mutations)")
 	metricsPath := flag.String("metrics", "", "validate a scraped Prometheus /metrics text file instead of diffing reports")
 	flag.Parse()
 
@@ -136,6 +136,8 @@ func checkSections(fresh *bench.JSONReport, sections string) []string {
 			missing = fresh.Traffic == nil
 		case "wcoj":
 			missing = fresh.Wcoj == nil
+		case "mutations":
+			missing = fresh.Mutations == nil
 		default:
 			missing = !figures[s]
 		}
@@ -349,6 +351,20 @@ func check(committed, fresh *bench.JSONReport, warnRatio float64) []string {
 			if q.Chosen && q.Seeks == 0 {
 				problems = append(problems, fmt.Sprintf("wcoj %s: chosen but recorded no iterator seeks", q.Task))
 			}
+		}
+	}
+	if m := fresh.Mutations; m != nil {
+		if m.Inserted == 0 || m.Deleted == 0 {
+			problems = append(problems, fmt.Sprintf("mutations: workload changed nothing (%d inserted, %d deleted)", m.Inserted, m.Deleted))
+		}
+		if m.InsertSeconds <= 0 || m.DeleteSeconds <= 0 || m.RecoverSeconds <= 0 {
+			problems = append(problems, "mutations section has an empty timing")
+		}
+		if m.ReplayBatches == 0 {
+			problems = append(problems, "mutations: recovery replayed no WAL batches — the crash path measured nothing")
+		}
+		if !m.ByteIdentical {
+			problems = append(problems, "mutations: figure-5 results after crash recovery not byte-identical")
 		}
 	}
 	if committed.Storage != nil && fresh.Storage != nil {

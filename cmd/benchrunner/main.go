@@ -40,6 +40,13 @@
 // latencies, shed rates by reason, and the stampede-protection check
 // (N concurrent cold requests, exactly one evaluation).
 //
+// -fig mutations runs the write-path workload: batched SPARQL UPDATE
+// requests through the engine with a WAL (fsync per batch), tombstone
+// deletes and compaction, then a simulated crash — the mutated store is
+// discarded and rebuilt from the pre-mutation snapshot plus a WAL replay —
+// recording insert/delete/compact/recover timings and whether every
+// Figure-5 query answers byte-identically on the recovered store.
+//
 // -digest evaluates the Figure-5 suite and writes one "task sha256" line
 // per query (no timings). CI runs it twice — GOMAXPROCS=1 -parallel 1
 // versus the parallel default — and diffs the files, so any parallel-eval
@@ -85,7 +92,7 @@ const (
 func main() {
 	var (
 		scaleFlag = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
-		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner", "traffic", "wcoj")`)
+		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner", "traffic", "wcoj", "mutations")`)
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
 		bestOf    = flag.Int("bestof", 1, "rerun each measured phase N times and keep the best (use >=3 when regenerating committed numbers)")
 		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
@@ -220,6 +227,14 @@ func main() {
 			}
 			report.Wcoj = rep
 			fmt.Println(bench.FormatWCOJ(rep))
+		case "mutations":
+			fmt.Fprintln(os.Stderr, "measuring mutations (SPARQL UPDATE, WAL durability, crash recovery)...")
+			rep, err := bench.MeasureMutations(env, "")
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Mutations = rep
+			fmt.Println(bench.FormatMutations(rep))
 		case "3":
 			rows := bench.RunFigure3(env, *timeout, *bestOf)
 			report.Add("3", rows)

@@ -13,6 +13,7 @@
 //	rdfframes-server -maxrows 10000 -timeout 30s ...
 //	rdfframes-server -max-inflight 64 -max-cost 1e7 -drain 30s ...
 //	rdfframes-server -debug-addr :6060 -slowlog slow.jsonl -slowlog-threshold 100ms ...
+//	rdfframes-server -synthetic small -wal updates.wal ...
 //
 // Observability: /metrics (Prometheus text) and /stats (JSON) render the
 // same counters; ?trace=1 on /sparql returns a per-stage trace annex;
@@ -23,6 +24,12 @@
 // -snapshot opens a store persisted by -write-snapshot (or by datagen
 // -snapshot) in milliseconds instead of re-parsing text; combine
 // -load with -write-snapshot once to convert a text dataset.
+//
+// -wal makes SPARQL UPDATE (/v1/update) durable: every committed batch is
+// fsync'd to the log before it applies, and at boot the log's committed
+// tail is replayed over the loaded dataset — a kill -9 after an
+// unsnapshotted update loses nothing. Combining -wal with -write-snapshot
+// folds the replayed state into the snapshot and truncates the log.
 //
 // The server sheds load instead of falling over: -max-inflight bounds
 // concurrently evaluating queries and -max-cost sheds queries whose
@@ -79,6 +86,7 @@ func main() {
 		slowLog   = flag.String("slowlog", "", "append slow queries as JSON lines to this file (- = stderr, empty = off)")
 		slowThr   = flag.Duration("slowlog-threshold", 250*time.Millisecond, "latency at or above which a query lands in -slowlog")
 		noWCOJ    = flag.Bool("no-wcoj", false, "disable the worst-case-optimal join operator; every BGP runs the binary join pipeline")
+		walPath   = flag.String("wal", "", "write-ahead log file for SPARQL UPDATE durability; replayed over the loaded dataset at boot (empty = updates are in-memory only)")
 		loads     loadFlags
 	)
 	flag.Var(&loads, "load", "graphURI=file.nt pair to load (repeatable)")
@@ -129,18 +137,54 @@ func main() {
 		}
 		log.Printf("loaded %d triples into <%s> in %v", n, parts[0], time.Since(start))
 	}
+	// The WAL replays after the base dataset (snapshot/synthetic/-load) is in
+	// place: committed update batches that postdate the last snapshot land on
+	// top, restoring the pre-crash store byte for byte.
+	var wal *store.WAL
+	if *walPath != "" {
+		start := time.Now()
+		w, rec, err := store.OpenWAL(*walPath)
+		if err != nil {
+			log.Fatalf("opening WAL %s: %v", *walPath, err)
+		}
+		wal = w
+		defer wal.Close()
+		if rec.Damage != nil {
+			log.Printf("WAL %s: damaged tail dropped (%d bytes): %v", *walPath, rec.DroppedBytes, rec.Damage)
+		}
+		if len(rec.Batches) > 0 {
+			changed, err := rec.Replay(st)
+			if err != nil {
+				log.Fatalf("replaying WAL %s: %v", *walPath, err)
+			}
+			log.Printf("replayed %d WAL batches (%d triples changed) from %s in %v",
+				len(rec.Batches), changed, *walPath, time.Since(start))
+		}
+	}
 	if *snapOut != "" {
 		start := time.Now()
 		if err := snapshot.WriteFile(*snapOut, st); err != nil {
 			log.Fatalf("writing snapshot %s: %v", *snapOut, err)
 		}
 		log.Printf("persisted %d triples to %s in %v", st.Len(), *snapOut, time.Since(start))
+		if wal != nil {
+			// The snapshot now covers everything the WAL recorded; truncate it
+			// so the next boot does not replay batches twice.
+			if err := wal.Reset(); err != nil {
+				log.Fatalf("resetting WAL %s after snapshot: %v", *walPath, err)
+			}
+			log.Printf("reset WAL %s (state persisted in %s)", *walPath, *snapOut)
+		}
 	}
 
 	eng := sparql.NewEngine(st)
 	eng.SetTimeout(*timeout)
 	eng.Parallelism = *parallel
 	eng.DisableWCOJ = *noWCOJ
+	if wal != nil {
+		eng.SetWAL(wal)
+		log.Printf("updates durable: WAL at %s (seq=%d)", *walPath, wal.Seq())
+	}
 	if *cacheOn {
 		eng.EnableCache(sparql.DefaultPlanCacheEntries, *cacheRows)
 		log.Printf("serving caches on: %d plan entries, %d result rows", sparql.DefaultPlanCacheEntries, *cacheRows)

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestMeasureMutations runs the full write-path workload at small scale:
+// the report must show real insert/delete work, a full WAL replay on
+// recovery, and byte-identical Figure-5 results on the recovered store.
+func TestMeasureMutations(t *testing.T) {
+	env, err := NewEnv(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	rep, err := MeasureMutations(env, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := mutationBatches * mutationOpsPerBatch
+	if rep.Inserted != wantOps {
+		t.Errorf("Inserted = %d, want %d", rep.Inserted, wantOps)
+	}
+	if rep.Deleted != wantOps {
+		t.Errorf("Deleted = %d, want %d (workload is net-zero)", rep.Deleted, wantOps)
+	}
+	if rep.InsertSeconds <= 0 || rep.DeleteSeconds <= 0 || rep.RecoverSeconds <= 0 {
+		t.Errorf("empty timing: %+v", rep)
+	}
+	// insert batches + delete batches + the DELETE WHERE sweep.
+	if want := 2 * mutationBatches; rep.ReplayBatches != want {
+		t.Errorf("ReplayBatches = %d, want %d", rep.ReplayBatches, want)
+	}
+	if rep.WALBytes == 0 {
+		t.Error("WALBytes = 0, workload never hit the log")
+	}
+	if !rep.ByteIdentical {
+		t.Error("figure-5 results after crash recovery are not byte-identical")
+	}
+	if out := FormatMutations(rep); out == "" {
+		t.Error("FormatMutations returned nothing")
+	}
+}

@@ -206,6 +206,10 @@ type JSONReport struct {
 	// Wcoj holds the worst-case-optimal join numbers (binary pipeline vs
 	// leapfrog triejoin and byte-identity) when benchrunner measured them.
 	Wcoj *WCOJReport `json:"wcoj,omitempty"`
+	// Mutations holds the write-path numbers (SPARQL UPDATE batches, WAL
+	// durability, compaction, and crash-recovery byte-identity) when
+	// benchrunner measured them.
+	Mutations *MutationsReport `json:"mutations,omitempty"`
 	// Metrics holds per-figure counter deltas scraped off the benchmark
 	// environment's registry — cache hits, evaluations, HTTP outcomes —
 	// attributing engine work to the workload that caused it.

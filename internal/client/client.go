@@ -47,6 +47,9 @@ type HTTPClient struct {
 	// UsePost selects POST form encoding instead of GET (useful for
 	// queries exceeding URL length limits).
 	UsePost bool
+	// UpdateURL is the SPARQL UPDATE endpoint. Empty derives it from
+	// Endpoint by swapping the query route for /v1/update (see Update).
+	UpdateURL string
 	// Context, when non-nil, bounds every request this client issues:
 	// cancelling it aborts in-flight requests (and, against this module's
 	// server, the evaluation behind them) and stops retry loops. Callers

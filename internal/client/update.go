@@ -1,0 +1,106 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"rdfframes/internal/obs"
+	"rdfframes/internal/sparql"
+)
+
+// Write-side client: HTTPClient.Update posts a SPARQL UPDATE request to the
+// endpoint's /v1/update route with the same retry policy reads use. Writes
+// are only safe to retry because every call mints one idempotency token
+// (X-Idempotency-Key) and reuses it across its retries: the server's WAL
+// dedups the token, so a retry of a request that was applied — but whose
+// response was lost — answers deduped=true instead of applying twice.
+
+// UpdateEndpoint resolves the update URL: the explicit field when set,
+// otherwise derived from the query endpoint by swapping its route for
+// /v1/update.
+func (c *HTTPClient) updateEndpoint() string {
+	if c.UpdateURL != "" {
+		return c.UpdateURL
+	}
+	for _, route := range []string{"/v1/query", "/sparql"} {
+		if strings.HasSuffix(c.Endpoint, route) {
+			return strings.TrimSuffix(c.Endpoint, route) + "/v1/update"
+		}
+	}
+	return strings.TrimRight(c.Endpoint, "/") + "/v1/update"
+}
+
+// Update executes a SPARQL UPDATE request (INSERT DATA / DELETE DATA /
+// DELETE WHERE) and returns the server's result: triples changed, the
+// post-batch store version, the WAL sequence number, and whether the
+// request deduplicated against an earlier delivery of the same call.
+func (c *HTTPClient) Update(update string) (*sparql.UpdateResult, error) {
+	pol := c.retryPolicy()
+	// One idempotency token per logical update, reused across retries: the
+	// server applies the batch at most once no matter how many attempts
+	// reach it.
+	rs := RequestStats{RequestID: obs.NewRequestID()}
+	token := obs.NewRequestID()
+	defer func() { c.recordStats(rs) }()
+	var lastErr error
+	var hint = rs.RetryAfter
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(c.context(), pol.delay(attempt-1, hint)); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.context().Err(); err != nil {
+			return nil, err
+		}
+		rs.Attempts = attempt
+		res, ri, err := c.updateOnce(update, rs.RequestID, token)
+		rs.Status = ri.status
+		if ri.retryAfter > 0 {
+			rs.RetryAfter = ri.retryAfter
+		}
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !ri.retryable {
+			return nil, err
+		}
+		hint = ri.retryAfter
+	}
+	return nil, fmt.Errorf("client: giving up after retries: %w", lastErr)
+}
+
+func (c *HTTPClient) updateOnce(update, reqID, token string) (*sparql.UpdateResult, retryInfo, error) {
+	form := url.Values{"update": {update}}
+	req, err := http.NewRequestWithContext(c.context(), http.MethodPost,
+		c.updateEndpoint(), strings.NewReader(form.Encode()))
+	if err != nil {
+		return nil, retryInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("X-Request-ID", reqID)
+	req.Header.Set("X-Idempotency-Key", token)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, retryInfo{retryable: c.context().Err() == nil}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("client: update returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return nil, retryInfo{retryable: retryable, retryAfter: retryAfterHint(resp), status: resp.StatusCode}, err
+	}
+	var res sparql.UpdateResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		// The request may have been applied; the retry reuses the token, so
+		// re-sending is safe either way.
+		return nil, retryInfo{retryable: true, status: resp.StatusCode}, fmt.Errorf("client: decoding update result: %w", err)
+	}
+	return &res, retryInfo{status: resp.StatusCode}, nil
+}

@@ -1,0 +1,126 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfframes/internal/sparql"
+)
+
+func TestUpdateEndpointDerivation(t *testing.T) {
+	cases := []struct {
+		endpoint, updateURL, want string
+	}{
+		{"http://h/sparql", "", "http://h/v1/update"},
+		{"http://h/v1/query", "", "http://h/v1/update"},
+		{"http://h/custom/", "", "http://h/custom/v1/update"},
+		{"http://h/sparql", "http://elsewhere/write", "http://elsewhere/write"},
+	}
+	for _, c := range cases {
+		hc := &HTTPClient{Endpoint: c.endpoint, UpdateURL: c.updateURL}
+		if got := hc.updateEndpoint(); got != c.want {
+			t.Errorf("updateEndpoint(%q, %q) = %q, want %q", c.endpoint, c.updateURL, got, c.want)
+		}
+	}
+}
+
+// TestUpdateRetriesWithStableToken: transient failures are retried, every
+// attempt carries the SAME idempotency token (so the server applies at most
+// once), and distinct Update calls mint distinct tokens.
+func TestUpdateRetriesWithStableToken(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		tokens   []string
+		failures = 2
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if r.URL.Path != "/v1/update" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		tokens = append(tokens, r.Header.Get("X-Idempotency-Key"))
+		if failures > 0 {
+			failures--
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(sparql.UpdateResult{Inserted: 1, Version: 7, Seq: 3})
+	}))
+	defer ts.Close()
+
+	hc := NewHTTPClient(ts.URL+"/sparql", 0)
+	hc.Retry = &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, Jitter: -1}
+	res, err := hc.Update(`INSERT DATA { GRAPH <http://g/> { <http://ex/s> <http://ex/p> <http://ex/o> } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Version != 7 || res.Seq != 3 {
+		t.Fatalf("result: %+v", res)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(tokens) != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 failures + success)", len(tokens))
+	}
+	if tokens[0] == "" || tokens[0] != tokens[1] || tokens[1] != tokens[2] {
+		t.Fatalf("idempotency token not stable across retries: %v", tokens)
+	}
+
+	// A second logical update must NOT reuse the first call's token, or the
+	// server would wrongly dedup it.
+	firstToken := tokens[0]
+	tokens = tokens[:0]
+	mu.Unlock()
+	if _, err := hc.Update(`DELETE DATA { GRAPH <http://g/> { <http://ex/s> <http://ex/p> <http://ex/o> } }`); err != nil {
+		mu.Lock()
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(tokens) != 1 || tokens[0] == firstToken {
+		t.Fatalf("second update token: %v (first was %s)", tokens, firstToken)
+	}
+}
+
+func TestUpdateDoesNotRetryClientErrors(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		http.Error(w, "sparql: empty update request", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	hc := NewHTTPClient(ts.URL+"/sparql", 0)
+	hc.Retry = &RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Jitter: -1}
+	if _, err := hc.Update(`nonsense`); err == nil {
+		t.Fatal("client error did not surface")
+	}
+	if attempts != 1 {
+		t.Fatalf("400 retried: %d attempts, want 1", attempts)
+	}
+}
+
+// TestUpdateEndToEndAgainstServer drives the real serving stack: the
+// client's Update against internal/server, then reads the write back over
+// the query route.
+func TestUpdateEndToEndAgainstServer(t *testing.T) {
+	ep := newEndpoint(t, 5, 0)
+	hc := NewHTTPClient(ep, 0)
+	res, err := hc.Update(`INSERT DATA { GRAPH <` + g + `> { <http://ex/e2e> <http://ex/p> <http://ex/o> } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Deduped || res.Version == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	got, err := hc.Select(`SELECT * WHERE { <http://ex/e2e> <http://ex/p> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 {
+		t.Fatalf("inserted triple not visible over HTTP: %d rows", len(got.Rows))
+	}
+}

@@ -1,0 +1,76 @@
+package rdf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary term codec: the length-prefixed wire form of one Term, shared by
+// the store's write-ahead log (internal/store/wal.go). The layout is one
+// kind byte followed by the uvarint-length-prefixed value, and for literals
+// the datatype and language tag the same way. Decoding is strict — an
+// unknown kind byte or a truncated field is an error, never a best-effort
+// term — because the WAL reader uses decode failures to detect corruption.
+
+// AppendTerm appends the binary encoding of t to buf and returns the
+// extended slice.
+func AppendTerm(buf []byte, t Term) []byte {
+	buf = append(buf, byte(t.Kind))
+	buf = appendString(buf, t.Value)
+	if t.Kind == LiteralKind {
+		buf = appendString(buf, t.Datatype)
+		buf = appendString(buf, t.Lang)
+	}
+	return buf
+}
+
+// DecodeTerm decodes one term from the front of buf, returning the term and
+// the number of bytes consumed.
+func DecodeTerm(buf []byte) (Term, int, error) {
+	if len(buf) == 0 {
+		return Term{}, 0, fmt.Errorf("rdf: decode term: empty buffer")
+	}
+	kind := TermKind(buf[0])
+	switch kind {
+	case IRIKind, LiteralKind, BlankKind:
+	default:
+		return Term{}, 0, fmt.Errorf("rdf: decode term: unknown kind byte %d", buf[0])
+	}
+	n := 1
+	value, used, err := decodeString(buf[n:])
+	if err != nil {
+		return Term{}, 0, fmt.Errorf("rdf: decode term value: %w", err)
+	}
+	n += used
+	t := Term{Kind: kind, Value: value}
+	if kind == LiteralKind {
+		if t.Datatype, used, err = decodeString(buf[n:]); err != nil {
+			return Term{}, 0, fmt.Errorf("rdf: decode term datatype: %w", err)
+		}
+		n += used
+		if t.Lang, used, err = decodeString(buf[n:]); err != nil {
+			return Term{}, 0, fmt.Errorf("rdf: decode term lang: %w", err)
+		}
+		n += used
+	}
+	return t, n, nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeString decodes a uvarint-length-prefixed string from the front of
+// buf, returning the string and the bytes consumed.
+func decodeString(buf []byte) (string, int, error) {
+	l, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return "", 0, fmt.Errorf("rdf: bad string length prefix")
+	}
+	if uint64(len(buf)-used) < l {
+		return "", 0, fmt.Errorf("rdf: string length %d exceeds remaining %d bytes", l, len(buf)-used)
+	}
+	return string(buf[used : used+int(l)]), used + int(l), nil
+}

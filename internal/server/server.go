@@ -72,16 +72,25 @@ type Server struct {
 // New returns a server over the given engine with no row cap.
 func New(engine *sparql.Engine) *Server { return &Server{Engine: engine} }
 
-// Handler returns the HTTP handler implementing the endpoint routes.
+// Handler returns the HTTP handler implementing the endpoint routes. The
+// canonical surface is versioned — /v1/query, /v1/update, /v1/stats,
+// /v1/metrics — and the original unversioned paths (/sparql, /stats,
+// /metrics) stay registered as aliases of the same handlers, so existing
+// clients, dashboards, and the CI metrics-scrape contract keep working
+// unchanged.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/sparql", s.handleQuery)
+	mux.HandleFunc("/v1/update", s.handleUpdate)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	if s.metrics != nil {
+		mux.Handle("/v1/metrics", s.metrics.reg.Handler())
 		mux.Handle("/metrics", s.metrics.reg.Handler())
 	}
 	return mux
@@ -177,7 +186,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// (or an abandoned benchmark run that cancels its request) stops the
 	// query's work — including its morsel workers — within one tick window
 	// instead of evaluating to completion on a detached goroutine.
-	body, rows, truncated, info, err := s.Engine.QueryServingJSONContext(r.Context(), query, s.MaxRows)
+	resp, err := s.Engine.Do(r.Context(), sparql.Request{
+		Query:   query,
+		Serving: true,
+		JSON:    true,
+		MaxRows: s.MaxRows,
+	})
 	if err != nil {
 		qerr = err
 		if errors.Is(err, context.Canceled) {
@@ -193,6 +207,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.logf("query error (%d) in %v: %v", status, time.Since(start), err)
 		return
 	}
+	body, truncated := resp.Body, resp.Truncated
+	rows, info = resp.Rows, resp.Info
 	if wantTrace {
 		// Splice the trace annex into a copy of the response (cached bodies
 		// are shared across requests and must never be mutated).

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"rdfframes/internal/sparql"
+)
+
+func postUpdate(t *testing.T, endpoint, update string, header map[string]string) (*http.Response, *sparql.UpdateResult) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, endpoint,
+		strings.NewReader(url.Values{"update": {update}}.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var res sparql.UpdateResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &res
+}
+
+func TestUpdateEndpointRoundTrip(t *testing.T) {
+	ts, st := newTestServer(t, 0)
+	resp, res := postUpdate(t, ts.URL+"/v1/update",
+		`INSERT DATA { GRAPH <`+g+`> { <http://ex/new> <http://ex/p> <http://ex/v> } }`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if res.Inserted != 1 || res.Deleted != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if resp.Header.Get("X-Store-Version") == "" || resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("missing X-Store-Version / X-Request-ID headers")
+	}
+	if st.Len() != 26 {
+		t.Fatalf("store has %d triples, want 26", st.Len())
+	}
+	// The write is immediately visible through the read route.
+	qresp, qres := get(t, ts, `SELECT * WHERE { <http://ex/new> <http://ex/p> ?v }`)
+	if qresp.StatusCode != http.StatusOK || len(qres.Rows) != 1 {
+		t.Fatalf("inserted triple not queryable: status=%d", qresp.StatusCode)
+	}
+
+	resp, res = postUpdate(t, ts.URL+"/v1/update", `DELETE WHERE { <http://ex/new> <http://ex/p> ?v }`, nil)
+	if resp.StatusCode != http.StatusOK || res.Deleted != 1 {
+		t.Fatalf("delete: status=%d result=%+v", resp.StatusCode, res)
+	}
+	if _, qres := get(t, ts, `SELECT * WHERE { <http://ex/new> <http://ex/p> ?v }`); len(qres.Rows) != 0 {
+		t.Fatalf("deleted triple still visible: %d rows", len(qres.Rows))
+	}
+}
+
+func TestUpdateEndpointSparqlUpdateBody(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/update",
+		strings.NewReader(`INSERT DATA { GRAPH <`+g+`> { <http://ex/raw> <http://ex/p> <http://ex/v> } }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/sparql-update")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var res sparql.UpdateResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestUpdateEndpointRejections(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	// GET is not an update.
+	resp, err := http.Get(ts.URL + "/v1/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+	// Missing update parameter.
+	if resp, _ := postUpdate(t, ts.URL+"/v1/update", "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty update status = %d, want 400", resp.StatusCode)
+	}
+	// Parse errors are the client's fault.
+	if resp, _ := postUpdate(t, ts.URL+"/v1/update", `SELECT ?s WHERE { ?s ?p ?o }`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-update status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestUpdateEndpointIdempotencyKey(t *testing.T) {
+	ts, st := newTestServer(t, 0)
+	update := `INSERT DATA { GRAPH <` + g + `> { <http://ex/idem> <http://ex/p> <http://ex/v> } }`
+	hdr := map[string]string{"X-Idempotency-Key": "key-123"}
+
+	_, first := postUpdate(t, ts.URL+"/v1/update", update, hdr)
+	if first == nil || first.Inserted != 1 || first.Deduped {
+		t.Fatalf("first delivery: %+v", first)
+	}
+	_, retry := postUpdate(t, ts.URL+"/v1/update", update, hdr)
+	if retry == nil || !retry.Deduped || retry.Inserted != 0 {
+		t.Fatalf("retry not deduped: %+v", retry)
+	}
+	if retry.Seq != first.Seq {
+		t.Fatalf("deduped retry reports seq %d, want the original %d", retry.Seq, first.Seq)
+	}
+	if st.Len() != 26 {
+		t.Fatalf("store has %d triples after deduped retry, want 26", st.Len())
+	}
+}
+
+func TestVersionedRoutesAndLegacyAliases(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	q := `SELECT * WHERE { ?s <http://ex/p> ?o }`
+	for _, route := range []string{"/sparql", "/v1/query"} {
+		resp, err := http.Get(ts.URL + route + "?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d", route, resp.StatusCode)
+		}
+	}
+	for _, route := range []string{"/stats", "/v1/stats"} {
+		resp, err := http.Get(ts.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d", route, resp.StatusCode)
+		}
+	}
+}

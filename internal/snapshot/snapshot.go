@@ -111,18 +111,20 @@ func Write(w io.Writer, st *store.Store) error {
 	for _, uri := range uris {
 		cw.str(uri)
 		g := st.Graph(uri)
-		triples := g.Triples()
+		// LiveImage filters tombstoned triples out of both the triple list
+		// and the serialized indexes: a snapshot never contains tombstones,
+		// so reopening one is always a compacted store.
+		triples, spo, pos, osp, predSubj := g.LiveImage()
 		cw.uvarint(uint64(len(triples)))
 		for _, t := range triples {
 			cw.uvarint(uint64(t.S))
 			cw.uvarint(uint64(t.P))
 			cw.uvarint(uint64(t.O))
 		}
-		spo, pos, osp := g.IndexImage()
 		writeIndex(cw, spo)
 		writeIndex(cw, pos)
 		writeIndex(cw, osp)
-		writeStats(cw, g.DistinctSubjectsByPredicate())
+		writeStats(cw, predSubj)
 	}
 
 	// The trailer carries the checksum of everything before it, so it is

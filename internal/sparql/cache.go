@@ -234,9 +234,48 @@ func (e *Engine) planned(ctx context.Context, src string) (*Query, *queryPlan, e
 	return entry.q, qp, nil
 }
 
-// QueryServing is the serving-path entry point: Engine.Query plus the
-// plan and result caches. Results served or filled from the cache are
-// shared across calls and must be treated as read-only by the caller.
+// QueryServing is the serving-path entry point: evaluation plus the plan
+// and result caches. Results served or filled from the cache are shared
+// across calls and must be treated as read-only by the caller.
+//
+// Deprecated: use Do with Request.Serving set.
+func (e *Engine) QueryServing(src string) (*Results, ServeInfo, error) {
+	return e.QueryServingContext(context.Background(), src)
+}
+
+// QueryServingContext is QueryServing bounded by ctx.
+//
+// Deprecated: use Do with Request.Serving set.
+func (e *Engine) QueryServingContext(ctx context.Context, src string) (*Results, ServeInfo, error) {
+	resp, err := e.Do(ctx, Request{Query: src, Serving: true})
+	if err != nil {
+		return nil, ServeInfo{}, err
+	}
+	return resp.Results, resp.Info, nil
+}
+
+// QueryServingJSON is QueryServing serialized to the SPARQL JSON body.
+//
+// Deprecated: use Do with Request.Serving and Request.JSON set.
+func (e *Engine) QueryServingJSON(src string, maxRows int) (body []byte, rows int, truncated bool, info ServeInfo, err error) {
+	return e.QueryServingJSONContext(context.Background(), src, maxRows)
+}
+
+// QueryServingJSONContext is QueryServingJSON bounded by ctx.
+//
+// Deprecated: use Do with Request.Serving and Request.JSON set.
+func (e *Engine) QueryServingJSONContext(ctx context.Context, src string, maxRows int) (body []byte, rows int, truncated bool, info ServeInfo, err error) {
+	resp, err := e.Do(ctx, Request{Query: src, Serving: true, JSON: true, MaxRows: maxRows})
+	if err != nil {
+		return nil, 0, false, ServeInfo{}, err
+	}
+	return resp.Body, resp.Rows, resp.Truncated, resp.Info, nil
+}
+
+// serve resolves src through the caches to a result entry plus the
+// LIMIT/OFFSET window the request asked for — the core of the serving path
+// behind Do. When caching is off (or the result was too large to admit)
+// the entry is ephemeral and dies with the request.
 //
 // Pagination-aware slicing: the cache key is the query text with its
 // trailing top-level LIMIT/OFFSET stripped, and the cached value is the
@@ -249,66 +288,6 @@ func (e *Engine) planned(ctx context.Context, src string) (*Query, *queryPlan, e
 // Invalidation is by store version: the version is part of the key, so a
 // mutation moves every lookup onto fresh keys and stale entries age out of
 // the LRU without ever being served.
-func (e *Engine) QueryServing(src string) (*Results, ServeInfo, error) {
-	return e.QueryServingContext(context.Background(), src)
-}
-
-// QueryServingContext is QueryServing bounded by ctx: a cancelled request
-// (e.g. a disconnected HTTP client) stops a cache-filling evaluation and
-// its morsel workers within one tick window.
-func (e *Engine) QueryServingContext(ctx context.Context, src string) (*Results, ServeInfo, error) {
-	ce, limit, offset, info, err := e.serve(ctx, src)
-	if err != nil {
-		return nil, info, err
-	}
-	lo, hi := pageBounds(len(ce.res.Rows), limit, offset)
-	return &Results{Vars: ce.res.Vars, Rows: ce.res.Rows[lo:hi]}, info, nil
-}
-
-// QueryServingJSON is QueryServing serialized: it answers with the SPARQL
-// JSON response body, additionally capping the page at maxRows rows
-// (0 = no cap) and reporting whether that cap truncated the response. On
-// cache hits the body comes from the entry's per-window encoding memo, so
-// a repeated request costs a byte copy rather than a re-serialization —
-// the warm serving path is HTTP plus one buffer write.
-func (e *Engine) QueryServingJSON(src string, maxRows int) (body []byte, rows int, truncated bool, info ServeInfo, err error) {
-	return e.QueryServingJSONContext(context.Background(), src, maxRows)
-}
-
-// QueryServingJSONContext is QueryServingJSON bounded by ctx; see
-// QueryServingContext.
-func (e *Engine) QueryServingJSONContext(ctx context.Context, src string, maxRows int) (body []byte, rows int, truncated bool, info ServeInfo, err error) {
-	ce, limit, offset, info, err := e.serve(ctx, src)
-	if err != nil {
-		return nil, 0, false, info, err
-	}
-	lo, hi := pageBounds(len(ce.res.Rows), limit, offset)
-	if maxRows > 0 && hi-lo > maxRows {
-		hi = lo + maxRows
-		truncated = true
-	}
-	endEncode := obs.TraceFrom(ctx).StartSpan("encode")
-	body, grew, err := ce.encodedPage(lo, hi)
-	endEncode()
-	if err != nil {
-		return nil, 0, false, info, err
-	}
-	if grew && ce.key != "" && e.results != nil {
-		// Re-charge the entry for its grown encoding memo so the budget
-		// keeps bounding total memory. If the entry has outgrown the whole
-		// budget the re-put is rejected — drop it rather than let it sit
-		// in the cache under-accounted.
-		if !e.results.Put(ce.key, ce, ce.cost()) {
-			e.results.Delete(ce.key)
-		}
-	}
-	return body, hi - lo, truncated, info, nil
-}
-
-// serve resolves src through the caches to a result entry plus the
-// LIMIT/OFFSET window the request asked for. When caching is off (or the
-// result was too large to admit) the entry is ephemeral and dies with the
-// request.
 func (e *Engine) serve(ctx context.Context, src string) (ce *cachedResult, limit, offset int, info ServeInfo, err error) {
 	info = ServeInfo{StoreVersion: e.Store.Version()}
 	limit = -1

@@ -75,6 +75,10 @@ type Engine struct {
 	// or failing evaluations — and is nil in production. Set via
 	// SetEvalHook.
 	evalHook atomic.Pointer[func(ctx context.Context) error]
+
+	// update is the write-side state — the update mutex, attached WAL, and
+	// idempotency-token index (see update_eval.go).
+	update updateState
 }
 
 // NewEngine returns an engine over st with no default-graph restriction.
@@ -125,30 +129,51 @@ func (e *Engine) parallelism() int {
 
 // Query parses and evaluates a SELECT query, returning its solutions. The
 // parse goes through the plan cache when EnableCache has been called; the
-// result cache is consulted only on the serving path (QueryServing).
+// result cache is consulted only on the serving path.
+//
+// Deprecated: use Do.
 func (e *Engine) Query(src string) (*Results, error) {
-	return e.QueryContext(context.Background(), src)
+	return e.queryContext(context.Background(), src)
 }
 
-// QueryContext is Query bounded by ctx: cancellation (or a ctx deadline)
-// stops the evaluation — including any morsel workers it fanned out —
-// within one tick window. An EXPLAIN query returns its plan as a
-// one-variable result set (see Explain for the structured form).
+// QueryContext is Query bounded by ctx.
+//
+// Deprecated: use Do.
 func (e *Engine) QueryContext(ctx context.Context, src string) (*Results, error) {
+	return e.queryContext(ctx, src)
+}
+
+// queryContext parses and evaluates a SELECT query bounded by ctx:
+// cancellation (or a ctx deadline) stops the evaluation — including any
+// morsel workers it fanned out — within one tick window. An EXPLAIN query
+// returns its plan as a one-variable result set (see Explain for the
+// structured form).
+func (e *Engine) queryContext(ctx context.Context, src string) (*Results, error) {
+	res, _, err := e.queryVersioned(ctx, src)
+	return res, err
+}
+
+// queryVersioned evaluates src and reports the store version the answer
+// reflects, read under the same lock hold as the evaluation: mutation
+// batches commit under the write lock and bump the version before releasing
+// it, so a version observed here can never mis-attribute a pre-batch answer
+// to the post-batch state.
+func (e *Engine) queryVersioned(ctx context.Context, src string) (*Results, uint64, error) {
 	q, qp, err := e.planned(ctx, src)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if q.Explain {
 		rep, err := e.explainParsed(ctx, src, q)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return rep.Results(), nil
+		return rep.Results(), e.Store.Version(), nil
 	}
 	e.Store.RLock()
 	defer e.Store.RUnlock()
-	return e.evalLocked(ctx, q, qp)
+	res, err := e.evalLocked(ctx, q, qp)
+	return res, e.Store.Version(), err
 }
 
 // Eval evaluates an already-parsed query inside one store read

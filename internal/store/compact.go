@@ -1,0 +1,98 @@
+package store
+
+// Compaction rebuilds a graph's physical representation from its live
+// triples, dropping tombstones. The live stream over every access path is
+// unchanged — filtering preserves insertion order, and the rebuilt indexes
+// are populated in that same order — so compaction never moves the store
+// version: the logical content and every deterministic iteration order are
+// identical before and after, and cached query results stay exactly valid.
+
+// LiveImage returns the graph's live triples in insertion order together
+// with adjacency indexes and the per-predicate distinct-subject counters
+// covering exactly those triples. With no tombstones every return value
+// aliases the graph's internal storage (and must not be modified); with
+// tombstones everything is freshly built. This is what the snapshot writer
+// serializes — a snapshot never contains tombstones — and what compaction
+// installs.
+func (g *Graph) LiveImage() (triples []IDTriple, spo, pos, osp map[ID]map[ID][]ID, predSubj map[ID]int) {
+	if len(g.dead) == 0 {
+		return g.all, g.spo, g.pos, g.osp, g.predSubj
+	}
+	triples = make([]IDTriple, 0, g.n)
+	spo = make(map[ID]map[ID][]ID, len(g.spo))
+	pos = make(map[ID]map[ID][]ID, len(g.pos))
+	osp = make(map[ID]map[ID][]ID, len(g.osp))
+	for _, t := range g.all {
+		if g.isDead(t) {
+			continue
+		}
+		triples = append(triples, t)
+		idxAdd(spo, t.S, t.P, t.O)
+		idxAdd(pos, t.P, t.O, t.S)
+		idxAdd(osp, t.O, t.S, t.P)
+	}
+	return triples, spo, pos, osp, derivePredSubjects(spo)
+}
+
+// compact rebuilds the graph in place from its live image, dropping
+// tombstones and the now-stale sorted-run memo. No-op on a tombstone-free
+// graph. Callers hold the store write lock.
+func (g *Graph) compact() {
+	if len(g.dead) == 0 {
+		return
+	}
+	triples, spo, pos, osp, predSubj := g.LiveImage()
+	byPred := make(map[ID][]IDTriple, len(pos))
+	for _, t := range triples {
+		byPred[t.P] = append(byPred[t.P], t)
+	}
+	set := make(map[IDTriple]struct{}, len(triples))
+	for _, t := range triples {
+		set[t] = struct{}{}
+	}
+	g.spo, g.pos, g.osp = spo, pos, osp
+	g.byPred = byPred
+	g.all = triples
+	g.set = set
+	g.dead = nil
+	g.predSubj = predSubj
+	g.n = len(triples)
+	g.mut++ // invalidate the sorted-run memo; runs may alias dropped slices
+
+	g.runMu.Lock()
+	g.runs = nil
+	g.runMu.Unlock()
+}
+
+// Tombstones reports the number of tombstoned triples still held in the
+// graph's physical indexes (0 after compaction).
+func (g *Graph) Tombstones() int { return len(g.dead) }
+
+// CompactGraph forces compaction of the named graph regardless of the
+// auto-compaction threshold, reporting whether anything was dropped. The
+// store version does not move (see the file comment).
+func (s *Store) CompactGraph(graphURI string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.graphs[graphURI]
+	if g == nil || len(g.dead) == 0 {
+		return false
+	}
+	g.compact()
+	return true
+}
+
+// CompactAll force-compacts every graph, returning how many graphs held
+// tombstones.
+func (s *Store) CompactAll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, g := range s.graphs {
+		if len(g.dead) > 0 {
+			g.compact()
+			n++
+		}
+	}
+	return n
+}

@@ -34,8 +34,34 @@ func (s *Store) MatchParts(graphURIs []string, pat IDTriple, morsel int) []ScanP
 	return parts
 }
 
-// appendMatchParts appends the graph's segments for pat to parts.
+// appendMatchParts appends the graph's segments for pat to parts. When the
+// graph carries tombstones, every appended segment is wrapped with a
+// liveness filter: segments stay contiguous subranges of the physical
+// stream, so concatenation still reproduces the (live-filtered) Match
+// stream exactly, and the common tombstone-free graph pays nothing.
 func (g *Graph) appendMatchParts(parts []ScanPart, pat IDTriple, morsel int) []ScanPart {
+	if len(g.dead) > 0 {
+		start := len(parts)
+		parts = g.appendRawMatchParts(parts, pat, morsel)
+		for i := start; i < len(parts); i++ {
+			raw := parts[i]
+			parts[i] = func(yield func(IDTriple) bool) {
+				raw(func(t IDTriple) bool {
+					if g.isDead(t) {
+						return true
+					}
+					return yield(t)
+				})
+			}
+		}
+		return parts
+	}
+	return g.appendRawMatchParts(parts, pat, morsel)
+}
+
+// appendRawMatchParts appends segments over the physical indexes with no
+// tombstone filtering.
+func (g *Graph) appendRawMatchParts(parts []ScanPart, pat IDTriple, morsel int) []ScanPart {
 	switch {
 	case pat.S != 0 && pat.P != 0 && pat.O != 0:
 		return append(parts, func(yield func(IDTriple) bool) {

@@ -14,8 +14,11 @@ import "sort"
 // so runs are derived: sorted copies of the inner slices for the leaf
 // levels, and sorted distinct key sets for the per-predicate levels (which
 // no single index rotation stores contiguously). Derived runs are memoized
-// per graph under runMu, keyed by the graph's triple count — any insert
-// changes the count, so a stale run can never be served after a mutation.
+// per graph under runMu, keyed by the graph's mutation counter — any
+// insert, delete, or compaction bumps the counter (which never revisits a
+// value, unlike the triple count once deletes exist), so a stale run can
+// never be served after a mutation. Tombstoned triples are filtered while
+// building, so a served run only ever contains live ids.
 
 // runKind discriminates the memo cache's run families.
 type runKind uint8
@@ -47,6 +50,9 @@ func (g *Graph) SubjectsOfPred(p ID) Run {
 		seen := make(map[ID]struct{}, len(g.spo))
 		ids := make([]ID, 0, len(triples))
 		for _, t := range triples {
+			if g.isDead(t) {
+				continue
+			}
 			if _, ok := seen[t.S]; !ok {
 				seen[t.S] = struct{}{}
 				ids = append(ids, t.S)
@@ -62,7 +68,19 @@ func (g *Graph) ObjectsOfPred(p ID) Run {
 	return g.run(runKey{runObjectsOfPred, p, 0}, func() []ID {
 		objs := g.pos[p]
 		ids := make([]ID, 0, len(objs))
-		for o := range objs {
+		for o, subs := range objs {
+			if len(g.dead) > 0 {
+				live := false
+				for _, s := range subs {
+					if !g.isDead(IDTriple{S: s, P: p, O: o}) {
+						live = true
+						break
+					}
+				}
+				if !live {
+					continue
+				}
+			}
 			ids = append(ids, o)
 		}
 		return ids
@@ -80,12 +98,19 @@ func (g *Graph) ObjectsSP(s, p ID) Run {
 	if len(ids) == 0 {
 		return nil
 	}
-	if ascending(ids) {
+	// The direct fast path serves the raw adjacency slice, which may hold
+	// tombstoned entries: with any tombstones in the graph, always go
+	// through the memo so the build filters them out.
+	if len(g.dead) == 0 && ascending(ids) {
 		return ids
 	}
 	return g.run(runKey{runObjectsSP, s, p}, func() []ID {
-		out := make([]ID, len(ids))
-		copy(out, ids)
+		out := make([]ID, 0, len(ids))
+		for _, o := range ids {
+			if !g.isDead(IDTriple{S: s, P: p, O: o}) {
+				out = append(out, o)
+			}
+		}
 		return out
 	})
 }
@@ -98,12 +123,16 @@ func (g *Graph) SubjectsPO(p, o ID) Run {
 	if len(ids) == 0 {
 		return nil
 	}
-	if ascending(ids) {
+	if len(g.dead) == 0 && ascending(ids) {
 		return ids
 	}
 	return g.run(runKey{runSubjectsPO, p, o}, func() []ID {
-		out := make([]ID, len(ids))
-		copy(out, ids)
+		out := make([]ID, 0, len(ids))
+		for _, s := range ids {
+			if !g.isDead(IDTriple{S: s, P: p, O: o}) {
+				out = append(out, s)
+			}
+		}
 		return out
 	})
 }
@@ -120,17 +149,17 @@ func ascending(ids []ID) bool {
 }
 
 // run answers a memoized run, building (and sorting) it on first use. The
-// cache is keyed to the graph's triple count: graphs only grow, so a count
-// mismatch means the graph changed since the cache was filled and the whole
-// cache is discarded. Readers hold the store read lock, so g.n is stable for
-// the duration of a call; runMu serializes concurrent readers filling the
-// cache.
+// cache is keyed to the graph's mutation counter: the counter only moves
+// forward, so a mismatch means the graph changed since the cache was filled
+// and the whole cache is discarded. Readers hold the store read lock, so
+// g.mut is stable for the duration of a call; runMu serializes concurrent
+// readers filling the cache.
 func (g *Graph) run(key runKey, build func() []ID) Run {
 	g.runMu.Lock()
 	defer g.runMu.Unlock()
-	if g.runN != g.n || g.runs == nil {
+	if g.runMut != g.mut || g.runs == nil {
 		g.runs = make(map[runKey][]ID)
-		g.runN = g.n
+		g.runMut = g.mut
 	}
 	if ids, ok := g.runs[key]; ok {
 		return ids

@@ -69,24 +69,35 @@ func (s *Store) Stats() *Stats {
 
 // StatsEpoch returns the planning epoch: a counter that advances when the
 // statistics catalog shifts materially — a new graph appears, or the total
-// triple count grows by at least 1/8 (and at least statsEpochMinGrowth)
-// since the last advance. Plans cached against an epoch stay valid until it
-// moves, so steady-state serving never replans while bulk ingest forces a
-// re-optimization. Safe to call without any lock.
+// triple count moves by at least 1/8 in either direction (and by at least
+// statsEpochMinGrowth triples) since the last advance. Shrinkage counts the
+// same as growth: a bulk DELETE that removes an eighth of the data is just
+// as much a distribution shift as ingest adding one. Plans cached against
+// an epoch stay valid until it moves, so steady-state serving never replans
+// while bulk ingest or bulk deletion forces a re-optimization. Safe to call
+// without any lock.
 func (s *Store) StatsEpoch() uint64 { return s.statsEpoch.Load() }
 
 // maybeBumpEpochLocked advances the stats epoch if the distribution has
 // shifted since the last advance. Called with the write lock held after a
 // successful mutation; newGraph forces the bump.
 func (s *Store) maybeBumpEpochLocked(newGraph bool) {
-	grown := s.total - s.epochTotal
-	relative := max(statsEpochMinGrowth, s.epochTotal/8)
-	if newGraph || (s.epochTotal == 0 && s.total > 0) || grown >= relative {
+	moved := s.total - s.epochTotal
+	if moved < 0 {
+		moved = -moved
+	}
+	threshold := max(statsEpochMinGrowth, s.epochTotal/8)
+	if newGraph || (s.epochTotal == 0 && s.total > 0) || moved >= threshold {
 		s.statsEpoch.Add(1)
 		s.epochTotal = s.total
 	}
 }
 
+// buildStatsLocked assembles a stats snapshot from index lengths. On a
+// graph carrying tombstones the index-length counts (per-predicate triples,
+// distinct subjects/objects) are upper bounds — tombstoned entries stay in
+// the physical indexes until compaction — which is the safe direction for
+// selectivity estimation; g.n (the live count) is always exact.
 func (s *Store) buildStatsLocked() *Stats {
 	st := &Stats{
 		Version: s.version.Load(),

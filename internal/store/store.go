@@ -123,24 +123,41 @@ type IDTriple struct {
 // over any access path is deterministic (insertion order or sorted keys) so
 // that repeated queries return rows in the same order, which the client's
 // LIMIT/OFFSET pagination relies on.
+//
+// Deletes are tombstones: the physical structures (all, byPred, the
+// adjacency lists) keep the triple, and every read path skips members of
+// dead. The live stream over any access path is therefore the append-only
+// stream with dead triples filtered out — the same relative order — which
+// keeps deterministic iteration (and byte-identical query results) through
+// deletes and compaction alike. Compaction (compact.go) rebuilds the
+// physical representation from the live triples and drops the tombstones.
 type Graph struct {
 	spo    map[ID]map[ID][]ID    // subject -> predicate -> objects
 	pos    map[ID]map[ID][]ID    // predicate -> object -> subjects
 	osp    map[ID]map[ID][]ID    // object -> subject -> predicates
 	byPred map[ID][]IDTriple     // predicate -> triples in insertion order
 	all    []IDTriple            // every triple in insertion order
-	set    map[IDTriple]struct{} // membership, for O(1) duplicate checks
-	// predSubj counts the distinct subjects per predicate — the one catalog
-	// statistic not readable as an index length (see stats.go).
+	set    map[IDTriple]struct{} // live membership, for O(1) duplicate checks
+	// dead holds tombstoned triples: still present in the physical indexes,
+	// skipped by every read path. nil/empty on a graph with no deletes, so
+	// the append-only hot paths pay only a len check.
+	dead map[IDTriple]struct{}
+	// predSubj counts the distinct live subjects per predicate — the one
+	// catalog statistic not readable as an index length (see stats.go).
 	predSubj map[ID]int
-	n        int
+	n        int // live triple count: len(all) minus tombstones
+
+	// mut counts mutations (inserts, deletes, compactions) and keys the
+	// sorted-run memo cache: unlike the triple count, it can never return to
+	// a previous value, so an insert+delete pair cannot alias a stale memo.
+	mut uint64
 
 	// runMu guards the sorted-run memo cache (see runs.go): runs holds the
-	// derived runs built for the graph state with runN triples, and a
-	// mismatch with n discards the cache wholesale.
-	runMu sync.Mutex
-	runs  map[runKey][]ID
-	runN  int
+	// derived runs built for the graph state at mutation count runMut, and a
+	// mismatch with mut discards the cache wholesale.
+	runMu  sync.Mutex
+	runs   map[runKey][]ID
+	runMut uint64
 }
 
 func newGraph() *Graph {
@@ -157,9 +174,21 @@ func newGraph() *Graph {
 // Len returns the number of triples in the graph.
 func (g *Graph) Len() int { return g.n }
 
-// Triples returns every triple in insertion order. The returned slice
-// aliases the graph's internal storage and must not be modified.
-func (g *Graph) Triples() []IDTriple { return g.all }
+// Triples returns every live triple in insertion order. With no tombstones
+// the returned slice aliases the graph's internal storage and must not be
+// modified; after deletes it is a fresh filtered copy.
+func (g *Graph) Triples() []IDTriple {
+	if len(g.dead) == 0 {
+		return g.all
+	}
+	out := make([]IDTriple, 0, g.n)
+	for _, t := range g.all {
+		if !g.isDead(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // IndexImage exposes the graph's three adjacency indexes for serialization.
 // The maps alias the graph's internal storage and must not be modified.
@@ -167,12 +196,25 @@ func (g *Graph) IndexImage() (spo, pos, osp map[ID]map[ID][]ID) {
 	return g.spo, g.pos, g.osp
 }
 
-// contains reports whether the graph holds the fully-bound triple. Sealed
-// graphs (bulk-loaded from a snapshot, set == nil) scan the (s,p) group
-// instead of keeping a membership map; the fan-out of a single (s,p) pair is
-// small, and skipping the map build is a large part of why reopening a
-// snapshot beats re-parsing.
+// isDead reports whether t is tombstoned.
+func (g *Graph) isDead(t IDTriple) bool {
+	if len(g.dead) == 0 {
+		return false
+	}
+	_, gone := g.dead[t]
+	return gone
+}
+
+// contains reports whether the graph holds the fully-bound triple (live —
+// tombstoned triples are absent). Sealed graphs (bulk-loaded from a
+// snapshot, set == nil) scan the (s,p) group instead of keeping a
+// membership map; the fan-out of a single (s,p) pair is small, and skipping
+// the map build is a large part of why reopening a snapshot beats
+// re-parsing.
 func (g *Graph) contains(t IDTriple) bool {
+	if g.isDead(t) {
+		return false
+	}
 	if g.set == nil {
 		for _, o := range g.spo[t.S][t.P] {
 			if o == t.O {
@@ -185,17 +227,35 @@ func (g *Graph) contains(t IDTriple) bool {
 	return ok
 }
 
-// unseal materializes the membership set of a bulk-loaded graph so that
-// incremental adds get back their O(1) duplicate check.
+// unseal materializes the live membership set of a bulk-loaded graph so
+// that incremental adds get back their O(1) duplicate check.
 func (g *Graph) unseal() {
 	g.set = make(map[IDTriple]struct{}, len(g.all))
 	for _, t := range g.all {
-		g.set[t] = struct{}{}
+		if !g.isDead(t) {
+			g.set[t] = struct{}{}
+		}
 	}
 }
 
+// liveInSP counts the live triples of the (s, p) adjacency group — the
+// distinct-subject bookkeeping delete and revive need. O(fan-out of one
+// (s, p) pair), which is small.
+func (g *Graph) liveInSP(s, p ID) int {
+	n := 0
+	for _, o := range g.spo[s][p] {
+		if !g.isDead(IDTriple{s, p, o}) {
+			n++
+		}
+	}
+	return n
+}
+
 // add inserts t and reports whether the graph changed (false for a
-// duplicate, which RDF set semantics ignore).
+// duplicate, which RDF set semantics ignore). Re-inserting a tombstoned
+// triple revives it in place: the physical indexes still hold it, so only
+// the tombstone is removed — the triple keeps its original stream position,
+// preserving deterministic iteration order.
 func (g *Graph) add(t IDTriple) bool {
 	if g.set == nil {
 		g.unseal()
@@ -205,9 +265,21 @@ func (g *Graph) add(t IDTriple) bool {
 	if g.contains(t) {
 		return false
 	}
+	if g.isDead(t) {
+		// Revive: the (s, p) group regains a distinct subject only if every
+		// other triple of the group is still tombstoned.
+		if g.liveInSP(t.S, t.P) == 0 {
+			g.predSubj[t.P]++
+		}
+		delete(g.dead, t)
+		g.set[t] = struct{}{}
+		g.n++
+		g.mut++
+		return true
+	}
 	g.set[t] = struct{}{}
-	if len(g.spo[t.S][t.P]) == 0 {
-		// First triple of this (s, p) group: a new distinct subject for P.
+	if g.liveInSP(t.S, t.P) == 0 {
+		// First live triple of this (s, p) group: a new distinct subject for P.
 		g.predSubj[t.P]++
 	}
 	idxAdd(g.spo, t.S, t.P, t.O)
@@ -216,6 +288,33 @@ func (g *Graph) add(t IDTriple) bool {
 	g.byPred[t.P] = append(g.byPred[t.P], t)
 	g.all = append(g.all, t)
 	g.n++
+	g.mut++
+	return true
+}
+
+// delete tombstones t and reports whether the graph changed (false when the
+// triple is absent or already deleted). The physical indexes keep the
+// triple until compaction; every read path consults the tombstone set.
+func (g *Graph) delete(t IDTriple) bool {
+	if !g.contains(t) {
+		return false
+	}
+	if g.dead == nil {
+		g.dead = make(map[IDTriple]struct{})
+	}
+	g.dead[t] = struct{}{}
+	if g.set != nil {
+		delete(g.set, t)
+	}
+	g.n--
+	g.mut++
+	if g.liveInSP(t.S, t.P) == 0 {
+		// Last live triple of its (s, p) group: predicate P loses a distinct
+		// subject.
+		if g.predSubj[t.P]--; g.predSubj[t.P] <= 0 {
+			delete(g.predSubj, t.P)
+		}
+	}
 	return true
 }
 
@@ -552,9 +651,21 @@ func (s *Store) MatchAny(graphURIs []string, pat IDTriple, yield func(IDTriple) 
 	}
 }
 
-// Match streams every triple in the graph matching the pattern, where a zero
-// ID is a wildcard. The callback returns false to stop iteration.
+// Match streams every live triple in the graph matching the pattern, where
+// a zero ID is a wildcard. The callback returns false to stop iteration.
+// Tombstoned triples are filtered out of every access path by one wrapper
+// installed only when the graph has tombstones, so the append-only hot path
+// pays a single len check.
 func (g *Graph) Match(pat IDTriple, yield func(IDTriple) bool) {
+	if len(g.dead) > 0 {
+		orig := yield
+		yield = func(t IDTriple) bool {
+			if g.isDead(t) {
+				return true
+			}
+			return orig(t)
+		}
+	}
 	switch {
 	case pat.S != 0 && pat.P != 0 && pat.O != 0:
 		if g.contains(pat) {
@@ -626,8 +737,10 @@ func (g *Graph) Count(pat IDTriple) int {
 }
 
 // Cardinality estimates the number of matches for pat cheaply, for join
-// ordering. It is exact for the access paths the indexes cover directly and
-// an upper bound otherwise.
+// ordering. It is exact for the access paths the indexes cover directly on
+// a tombstone-free graph and an upper bound otherwise (index lengths count
+// tombstoned entries until compaction), which is the safe direction for
+// selectivity estimation.
 func (g *Graph) Cardinality(pat IDTriple) int {
 	switch {
 	case pat.S != 0 && pat.P != 0 && pat.O != 0:
