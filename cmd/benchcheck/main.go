@@ -13,8 +13,11 @@
 //   - no fresh measurement has an empty timing (zero seconds without an
 //     error) and none reports an error,
 //   - result byte-identity flags recorded by the serving, parallel,
-//     planner, wcoj, and mutations sections are all true (a false one is a
-//     determinism, planner-correctness, or crash-recovery regression),
+//     planner, wcoj, mutations, and features sections are all true (a false
+//     one is a determinism, planner-correctness, or crash-recovery
+//     regression),
+//   - the features section's streaming export stayed within its bounded
+//     buffer (an unbounded peak means the export materialized the frame),
 //   - the traffic section upholds the load-shedding contract: Retry-After
 //     on every shed, zero unexpected errors or identity violations, and a
 //     stampede coalesced into exactly one evaluation,
@@ -22,8 +25,9 @@
 //
 // -strict additionally requires every section named by -sections (figure
 // numbers and/or "storage", "serving", "parallel", "planner", "traffic",
-// "wcoj", "mutations") to be present in the fresh report — a missing section means the harness
-// silently dropped a workload and is a hard failure.
+// "wcoj", "mutations", "features") to be present in the fresh report — a
+// missing section means the harness silently dropped a workload and is a
+// hard failure.
 //
 // -metrics switches benchcheck into a second mode: instead of diffing
 // reports it validates a scraped Prometheus /metrics text file (exit 1 on
@@ -138,6 +142,8 @@ func checkSections(fresh *bench.JSONReport, sections string) []string {
 			missing = fresh.Wcoj == nil
 		case "mutations":
 			missing = fresh.Mutations == nil
+		case "features":
+			missing = fresh.Features == nil
 		default:
 			missing = !figures[s]
 		}
@@ -351,6 +357,35 @@ func check(committed, fresh *bench.JSONReport, warnRatio float64) []string {
 			if q.Chosen && q.Seeks == 0 {
 				problems = append(problems, fmt.Sprintf("wcoj %s: chosen but recorded no iterator seeks", q.Task))
 			}
+		}
+	}
+	if f := fresh.Features; f != nil {
+		if len(f.PathQueries) == 0 {
+			problems = append(problems, "features section has no path queries")
+		}
+		for _, q := range f.PathQueries {
+			if !q.ByteIdentical {
+				problems = append(problems, fmt.Sprintf("features %s: parallel path result not byte-identical to serial", q.Task))
+			}
+			if q.SerialSeconds <= 0 || q.ParallelSeconds <= 0 {
+				problems = append(problems, fmt.Sprintf("features %s has an empty timing", q.Task))
+			}
+			if q.Rows == 0 {
+				problems = append(problems, fmt.Sprintf("features %s returned no rows — the path matched nothing", q.Task))
+			}
+		}
+		if f.FeatureNodes == 0 {
+			problems = append(problems, "features: no nodes featurized — the extraction measured nothing")
+		}
+		if f.FeatureSeconds <= 0 || f.ExportSeconds <= 0 {
+			problems = append(problems, "features section has an empty timing")
+		}
+		if f.ExportRows == 0 || f.ExportBytes == 0 {
+			problems = append(problems, "features: export streamed nothing")
+		}
+		if !f.ExportBounded {
+			problems = append(problems, fmt.Sprintf("features: export peak buffer %d exceeded the bound for %d-byte chunks — the stream materialized",
+				f.ExportPeakBufferBytes, f.ExportChunkBytes))
 		}
 	}
 	if m := fresh.Mutations; m != nil {

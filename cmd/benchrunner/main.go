@@ -40,6 +40,12 @@
 // latencies, shed rates by reason, and the stampede-protection check
 // (N concurrent cold requests, exactly one evaluation).
 //
+// -fig features runs the feature-pipeline workload: property-path queries
+// (sequence and transitive closure) evaluated serially and with -parallel
+// workers with the result byte-identity check, store-side topology-feature
+// extraction over the actor node set, and the streaming CSV export with its
+// bounded peak-buffer assertion.
+//
 // -fig mutations runs the write-path workload: batched SPARQL UPDATE
 // requests through the engine with a WAL (fsync per batch), tombstone
 // deletes and compaction, then a simulated crash — the mutated store is
@@ -92,7 +98,7 @@ const (
 func main() {
 	var (
 		scaleFlag = flag.String("scale", "small", `dataset scale: "small" or "bench"`)
-		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner", "traffic", "wcoj", "mutations")`)
+		figFlag   = flag.String("fig", "3,4,5", `comma-separated figures to run ("3", "4", "5", "storage", "serving", "parallel", "planner", "traffic", "wcoj", "mutations", "features")`)
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query timeout (the paper used 30 minutes)")
 		bestOf    = flag.Int("bestof", 1, "rerun each measured phase N times and keep the best (use >=3 when regenerating committed numbers)")
 		verify    = flag.Bool("verify", false, "verify all approaches return identical results first")
@@ -227,6 +233,14 @@ func main() {
 			}
 			report.Wcoj = rep
 			fmt.Println(bench.FormatWCOJ(rep))
+		case "features":
+			fmt.Fprintln(os.Stderr, "measuring feature pipeline (property paths, topology features, streaming export)...")
+			rep, err := bench.MeasureFeatures(env, *parallel, *bestOf, *timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.Features = rep
+			fmt.Println(bench.FormatFeatures(rep))
 		case "mutations":
 			fmt.Fprintln(os.Stderr, "measuring mutations (SPARQL UPDATE, WAL durability, crash recovery)...")
 			rep, err := bench.MeasureMutations(env, "")

@@ -1,0 +1,150 @@
+// Command docscheck validates the repository's markdown documentation:
+// every repo-relative link must resolve to a file or directory that exists.
+// CI runs it in the docs job (and the package's own test runs it under
+// plain `go test ./...`), so a doc rename or a typoed path fails the build
+// instead of shipping a dead link.
+//
+//	docscheck           # check the working tree
+//	docscheck -root dir # check another checkout
+//
+// External links (http, https, mailto) and pure intra-page anchors are not
+// checked — availability of other people's servers is not this repo's
+// contract. A link with a fragment (README.md#section) is checked for the
+// file only.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	problems, err := CheckLinks(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "docscheck: FAIL: %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: all repo-relative markdown links resolve")
+}
+
+// skippedFiles are driver and provenance files for the repo-growth process,
+// not product documentation: they quote external material whose link
+// targets are not part of this repository's contract.
+var skippedFiles = map[string]bool{
+	"ISSUE.md":    true,
+	"PAPER.md":    true,
+	"PAPERS.md":   true,
+	"SNIPPETS.md": true,
+	"CHANGES.md":  true,
+}
+
+// linkPattern matches inline markdown links and images: [text](target).
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// CheckLinks walks every .md file under root and returns one problem line
+// per repo-relative link whose target does not exist. Fenced code blocks
+// are ignored — they quote syntax, they don't link.
+func CheckLinks(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") || skippedFiles[d.Name()] {
+			return nil
+		}
+		ps, err := checkFile(root, path)
+		if err != nil {
+			return err
+		}
+		problems = append(problems, ps...)
+		return nil
+	})
+	return problems, err
+}
+
+func checkFile(root, path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = path
+	}
+	var problems []string
+	inFence := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if !checkable(target) {
+				continue
+			}
+			// Drop the fragment; only the file's existence is checked.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // pure intra-page anchor
+			}
+			resolved := resolve(root, path, target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: link target %q does not exist", rel, lineNo, m[1]))
+			}
+		}
+	}
+	return problems, sc.Err()
+}
+
+// checkable reports whether a link target is a repo path rather than an
+// external URL.
+func checkable(target string) bool {
+	if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+		return false
+	}
+	return true
+}
+
+// resolve maps a link target to a filesystem path: absolute targets
+// (/docs/x.md) are repo-rooted, relative ones resolve against the linking
+// file's directory.
+func resolve(root, fromFile, target string) string {
+	if strings.HasPrefix(target, "/") {
+		return filepath.Join(root, target)
+	}
+	return filepath.Join(filepath.Dir(fromFile), target)
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The repository's own docs must pass the link check under plain
+// `go test ./...` — CI's docs job runs the same function, but this keeps
+// the contract enforced even for local runs that skip the workflow.
+func TestRepositoryDocsLinksResolve(t *testing.T) {
+	problems, err := CheckLinks(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestCheckLinksCatchesDeadLink(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "README.md")
+	content := "[good](sub/ok.md)\n[dead](missing.md)\n```\n[quoted](also-missing.md)\n```\n[ext](https://example.com/x)\n"
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sub", "ok.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := CheckLinks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems, want exactly the dead link: %v", len(problems), problems)
+	}
+}
+
+// repoRoot walks up from the working directory to the module root (the
+// directory holding go.mod).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"rdfframes"
 	"rdfframes/internal/dataframe"
@@ -32,6 +33,49 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("extracted %d entity-to-entity triples\n", df.Len())
+
+	// --- Handoff for external tools: stream the same frame to CSV ---
+	// ExportCSV never materializes the result on the server or in the
+	// client: the engine encodes one bounded chunk at a time, so this works
+	// for frames far larger than memory.
+	csvPath := filepath.Join(os.TempDir(), "dblp_triples.csv")
+	out, err := os.Create(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := frame.ExportCSV(client, out)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d bytes of CSV to %s\n", n, csvPath)
+
+	// --- KG → feature matrix: store-side topology features ---
+	// For each distinct subject entity the store computes in/out degree and
+	// bounded 2-hop neighborhood counts directly from its sorted indexes,
+	// without decoding terms — graph features for downstream models that the
+	// embedding alone does not capture.
+	feats, err := frame.Features(client, "sub", 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology feature matrix: %d nodes x %d features\n",
+		feats.Len(), len(feats.Columns())-1)
+	featPath := filepath.Join(os.TempDir(), "dblp_features.csv")
+	ff, err := os.Create(featPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = feats.WriteCSV(ff, false)
+	if cerr := ff.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote feature matrix to %s\n", featPath)
 
 	// --- Encode and split ---
 	triples, nEnt, nRel := encode(df)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rdfframes"
@@ -47,6 +48,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("extracted dataframe: %d rows x %d columns\n", df.Len(), len(df.Columns()))
+
+	// Handoff for tools outside this process: stream the same frame to CSV
+	// without materializing it on the server or in the client.
+	csvPath := filepath.Join(os.TempDir(), "movie_genre.csv")
+	out, err := os.Create(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := dataset.ExportCSV(client, out)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d bytes of CSV to %s\n", n, csvPath)
 
 	// --- Feature engineering: bag-of-words over subject + movie name ---
 	labelled, unlabelled := split(df)

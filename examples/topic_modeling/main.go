@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rdfframes"
@@ -44,6 +45,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("extracted %d paper titles by prolific VLDB/SIGMOD authors\n", df.Len())
+
+	// Handoff for tools outside this process: stream the same frame to CSV
+	// without materializing it on the server or in the client.
+	csvPath := filepath.Join(os.TempDir(), "paper_titles.csv")
+	out, err := os.Create(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := titles.ExportCSV(client, out)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d bytes of CSV to %s\n", n, csvPath)
 	if df.Len() < 5 {
 		log.Fatal("too few titles; increase the dataset size")
 	}

@@ -2,6 +2,7 @@ package rdfframes
 
 import (
 	"fmt"
+	"io"
 
 	"rdfframes/internal/core"
 	"rdfframes/internal/dataframe"
@@ -325,6 +326,51 @@ func (f *RDFFrame) Execute(c Client) (*DataFrame, error) {
 	res, err := c.Select(query)
 	if err != nil {
 		return nil, fmt.Errorf("rdfframes: executing query: %w", err)
+	}
+	return ResultsToDataFrame(res), nil
+}
+
+// ExportCSV compiles the frame and streams its full result into w as CSV
+// (header row first), returning the bytes written. Unlike Execute, the
+// result is never materialized: the server (or embedded engine) encodes one
+// bounded chunk at a time, so frames far larger than memory export safely.
+// The client must implement Exporter; both ConnectHTTP and ConnectStore
+// clients do.
+func (f *RDFFrame) ExportCSV(c Client, w io.Writer) (int64, error) {
+	query, err := f.ToSPARQL()
+	if err != nil {
+		return 0, err
+	}
+	ex, ok := c.(Exporter)
+	if !ok {
+		return 0, fmt.Errorf("rdfframes: client %T does not support streaming export", c)
+	}
+	n, err := ex.Export(query, w)
+	if err != nil {
+		return n, fmt.Errorf("rdfframes: exporting frame: %w", err)
+	}
+	return n, nil
+}
+
+// Features compiles the frame and returns a feature matrix for the distinct
+// nodes bound to col: one row per node with its out-degree, in-degree, and
+// bounded 2-hop out/in neighborhood counts, computed inside the store
+// without decoding terms. col empty selects the frame's first column;
+// hopCap bounds each 2-hop count (0 = engine default, negative = no cap).
+// The client must implement Featurizer; both ConnectHTTP and ConnectStore
+// clients do.
+func (f *RDFFrame) Features(c Client, col string, hopCap int) (*DataFrame, error) {
+	query, err := f.ToSPARQL()
+	if err != nil {
+		return nil, err
+	}
+	ft, ok := c.(Featurizer)
+	if !ok {
+		return nil, fmt.Errorf("rdfframes: client %T does not support topology features", c)
+	}
+	res, err := ft.Features(query, col, hopCap)
+	if err != nil {
+		return nil, fmt.Errorf("rdfframes: extracting features: %w", err)
 	}
 	return ResultsToDataFrame(res), nil
 }

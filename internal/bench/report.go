@@ -210,6 +210,10 @@ type JSONReport struct {
 	// durability, compaction, and crash-recovery byte-identity) when
 	// benchrunner measured them.
 	Mutations *MutationsReport `json:"mutations,omitempty"`
+	// Features holds the feature-pipeline numbers (property-path queries,
+	// topology-feature extraction, and the streaming export's bounded-
+	// memory assertion) when benchrunner measured them.
+	Features *FeaturesReport `json:"features,omitempty"`
 	// Metrics holds per-figure counter deltas scraped off the benchmark
 	// environment's registry — cache hits, evaluations, HTTP outcomes —
 	// attributing engine work to the workload that caused it.

@@ -2,6 +2,12 @@
 // client speaking the SPARQL 1.1 Protocol with transparent result
 // pagination (the paper's Executor component), and an in-process client for
 // embedding the engine directly.
+//
+// Both clients expose the same read surface — Select for paginated tabular
+// results, Export for streaming a result as CSV with bounded memory, and
+// Features for store-side topology feature matrices — so code written
+// against one runs against the other. The HTTP client additionally offers
+// Update, retry-safe through per-call idempotency tokens.
 package client
 
 import (
@@ -50,6 +56,12 @@ type HTTPClient struct {
 	// UpdateURL is the SPARQL UPDATE endpoint. Empty derives it from
 	// Endpoint by swapping the query route for /v1/update (see Update).
 	UpdateURL string
+	// ExportURL is the streaming CSV export endpoint. Empty derives it
+	// from Endpoint by swapping the query route for /v1/export.
+	ExportURL string
+	// FeaturesURL is the topology-features endpoint. Empty derives it from
+	// Endpoint by swapping the query route for /v1/features.
+	FeaturesURL string
 	// Context, when non-nil, bounds every request this client issues:
 	// cancelling it aborts in-flight requests (and, against this module's
 	// server, the evaluation behind them) and stops retry loops. Callers
@@ -377,7 +389,12 @@ type Direct struct {
 // NewDirect returns an in-process client over the engine.
 func NewDirect(engine *sparql.Engine) *Direct { return &Direct{Engine: engine} }
 
-// Select evaluates the query directly on the engine.
+// Select evaluates the query directly on the engine through the
+// consolidated Do entry point.
 func (d *Direct) Select(query string) (*sparql.Results, error) {
-	return d.Engine.Query(query)
+	resp, err := d.Engine.Do(context.Background(), sparql.Request{Query: query})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }

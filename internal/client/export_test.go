@@ -1,0 +1,101 @@
+package client
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rdfframes/internal/rdf"
+	"rdfframes/internal/server"
+	"rdfframes/internal/sparql"
+	"rdfframes/internal/store"
+)
+
+// newEndpointFromStore serves an existing store and returns its query URL;
+// the client derives the /v1/export and /v1/features routes from it.
+func newEndpointFromStore(t *testing.T, st *store.Store) string {
+	t.Helper()
+	ts := httptest.NewServer(server.New(sparql.NewEngine(st)).Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL + "/sparql"
+}
+
+// HTTP and embedded clients must stream byte-identical CSV for the same
+// query — the property that lets a training job swap one for the other.
+func TestExportHTTPAndDirectAgree(t *testing.T) {
+	st := store.New()
+	for i := 0; i < 40; i++ {
+		err := st.Add(g, rdf.Triple{
+			S: rdf.NewIRI("http://ex/s" + strings.Repeat("0", 2) + string(rune('a'+i%26))),
+			P: rdf.NewIRI("http://ex/p"),
+			O: rdf.NewInteger(int64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := `SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }`
+
+	direct := NewDirect(sparql.NewEngine(st))
+	var local bytes.Buffer
+	nLocal, err := direct.Export(q, &local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewHTTPClient(newEndpointFromStore(t, st), 0)
+	var remote bytes.Buffer
+	nRemote, err := c.Export(q, &remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Fatalf("direct and HTTP export differ (%d vs %d bytes)", local.Len(), remote.Len())
+	}
+	if nLocal != int64(local.Len()) || nRemote != int64(remote.Len()) {
+		t.Fatalf("byte counts wrong: direct %d/%d, http %d/%d", nLocal, local.Len(), nRemote, remote.Len())
+	}
+	if !strings.HasPrefix(local.String(), "s,o\n") {
+		t.Fatalf("missing header: %q", local.String()[:20])
+	}
+}
+
+func TestFeaturesHTTPAndDirectAgree(t *testing.T) {
+	st := store.New()
+	add := func(s, o string) {
+		if err := st.Add(g, rdf.Triple{
+			S: rdf.NewIRI("http://ex/" + s), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/" + o),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a", "b")
+	add("b", "c")
+	add("c", "d")
+	q := `SELECT ?s WHERE { ?s <http://ex/p> ?o }`
+
+	direct := NewDirect(sparql.NewEngine(st))
+	want, err := direct.Features(q, "s", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewHTTPClient(newEndpointFromStore(t, st), 0)
+	got, err := c.Features(q, "s", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := want.MarshalJSON()
+	gotJSON, _ := got.MarshalJSON()
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("direct and HTTP features differ:\n%s\n%s", wantJSON, gotJSON)
+	}
+	if len(want.Rows) != 3 {
+		t.Fatalf("got %d nodes, want 3", len(want.Rows))
+	}
+	// Node a: 1 outgoing edge, 2 nodes within 2 hops out (b, c).
+	if want.Rows[0][1].Value != "1" || want.Rows[0][3].Value != "2" {
+		t.Fatalf("node a features: out=%s out2hop=%s, want 1 and 2",
+			want.Rows[0][1].Value, want.Rows[0][3].Value)
+	}
+}

@@ -23,15 +23,7 @@ import (
 // otherwise derived from the query endpoint by swapping its route for
 // /v1/update.
 func (c *HTTPClient) updateEndpoint() string {
-	if c.UpdateURL != "" {
-		return c.UpdateURL
-	}
-	for _, route := range []string{"/v1/query", "/sparql"} {
-		if strings.HasSuffix(c.Endpoint, route) {
-			return strings.TrimSuffix(c.Endpoint, route) + "/v1/update"
-		}
-	}
-	return strings.TrimRight(c.Endpoint, "/") + "/v1/update"
+	return c.routeEndpoint(c.UpdateURL, "/v1/update")
 }
 
 // Update executes a SPARQL UPDATE request (INSERT DATA / DELETE DATA /

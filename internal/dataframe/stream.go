@@ -1,0 +1,152 @@
+package dataframe
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+
+	"rdfframes/internal/rdf"
+)
+
+// Streaming dataframe export: a FrameWriter consumes a header and then one
+// row at a time, encoding into bounded chunks that are handed to the
+// destination as they fill — the producer never materializes the whole
+// frame. CSVStream is the CSV encoding; an Arrow IPC writer slots in
+// behind the same interface when the dependency is available.
+
+// FrameWriter is the chunked export sink: a header, rows, and a final
+// Flush that drains whatever is still buffered.
+type FrameWriter interface {
+	// WriteHeader writes the column names. Must be called once, first.
+	WriteHeader(cols []string) error
+	// WriteRow writes one row; the implementation must not retain row.
+	WriteRow(row []rdf.Term) error
+	// Flush drains any buffered encoding to the destination.
+	Flush() error
+}
+
+// DefaultChunkBytes is the chunk threshold used when a CSVStream is
+// created with a non-positive chunk size.
+const DefaultChunkBytes = 64 << 10
+
+// CSVStream encodes rows as CSV into an internal buffer and drains it to
+// the destination every time it crosses the chunk threshold, so peak
+// buffered memory stays near one chunk regardless of result size.
+// PeakBufferBytes reports the high-water mark, which is how the bench
+// harness asserts the bound. Not safe for concurrent use.
+type CSVStream struct {
+	dst        io.Writer
+	cw         *csv.Writer
+	buf        bytes.Buffer
+	chunkBytes int
+	full       bool
+	record     []string
+	rows       int
+	peak       int
+	onFlush    func() error
+}
+
+var _ FrameWriter = (*CSVStream)(nil)
+
+// NewCSVStream returns a streaming CSV writer over dst that drains its
+// buffer every chunkBytes (<= 0 uses DefaultChunkBytes). Like
+// DataFrame.WriteCSV, full selects N-Triples term syntax per cell instead
+// of plain values; nulls are empty cells either way.
+func NewCSVStream(dst io.Writer, chunkBytes int, full bool) *CSVStream {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	s := &CSVStream{dst: dst, chunkBytes: chunkBytes, full: full}
+	s.cw = csv.NewWriter(&s.buf)
+	return s
+}
+
+// SetFlushHook registers fn to run after each chunk lands on the
+// destination — typically an http.Flusher push so chunks reach the client
+// as they are produced.
+func (s *CSVStream) SetFlushHook(fn func() error) { s.onFlush = fn }
+
+// WriteHeader writes the CSV header row.
+func (s *CSVStream) WriteHeader(cols []string) error {
+	if err := s.cw.Write(cols); err != nil {
+		return err
+	}
+	return s.drainIfFull()
+}
+
+// WriteRow encodes one row of terms as a CSV record.
+func (s *CSVStream) WriteRow(row []rdf.Term) error {
+	if cap(s.record) < len(row) {
+		s.record = make([]string, len(row))
+	}
+	rec := s.record[:len(row)]
+	for j, t := range row {
+		switch {
+		case !t.IsBound():
+			rec[j] = ""
+		case s.full:
+			rec[j] = t.String()
+		default:
+			rec[j] = t.Value
+		}
+	}
+	if err := s.cw.Write(rec); err != nil {
+		return err
+	}
+	s.rows++
+	return s.drainIfFull()
+}
+
+// Flush drains everything still buffered to the destination. Call once
+// after the last row.
+func (s *CSVStream) Flush() error {
+	if err := s.settle(); err != nil {
+		return err
+	}
+	return s.drain()
+}
+
+// Rows returns how many data rows have been written (header excluded).
+func (s *CSVStream) Rows() int { return s.rows }
+
+// PeakBufferBytes returns the largest encoding buffer observed: the
+// writer's actual memory high-water mark, bounded by one chunk plus one
+// encoded row.
+func (s *CSVStream) PeakBufferBytes() int { return s.peak }
+
+// settle pushes the csv writer's internal buffering into buf and records
+// the high-water mark.
+func (s *CSVStream) settle() error {
+	s.cw.Flush()
+	if err := s.cw.Error(); err != nil {
+		return err
+	}
+	if s.buf.Len() > s.peak {
+		s.peak = s.buf.Len()
+	}
+	return nil
+}
+
+func (s *CSVStream) drainIfFull() error {
+	if err := s.settle(); err != nil {
+		return err
+	}
+	if s.buf.Len() < s.chunkBytes {
+		return nil
+	}
+	return s.drain()
+}
+
+func (s *CSVStream) drain() error {
+	if s.buf.Len() == 0 {
+		return nil
+	}
+	if _, err := s.dst.Write(s.buf.Bytes()); err != nil {
+		return err
+	}
+	s.buf.Reset()
+	if s.onFlush != nil {
+		return s.onFlush()
+	}
+	return nil
+}

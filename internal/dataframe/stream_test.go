@@ -1,0 +1,107 @@
+package dataframe
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rdfframes/internal/rdf"
+)
+
+// The streaming encoder must produce exactly the bytes WriteCSV would,
+// while never buffering more than roughly one chunk.
+func TestCSVStreamMatchesWriteCSV(t *testing.T) {
+	const rows = 500
+	df := New("s", "v")
+	var stream bytes.Buffer
+	cs := NewCSVStream(&stream, 256, false)
+	if err := cs.WriteHeader([]string{"s", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		row := []rdf.Term{
+			rdf.NewIRI(fmt.Sprintf("http://ex/s%04d", i)),
+			rdf.NewLiteral(strings.Repeat("x", 20)),
+		}
+		df.Append(row)
+		if err := cs.WriteRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := df.WriteCSV(&want, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream.Bytes(), want.Bytes()) {
+		t.Fatalf("streamed CSV differs from materialized CSV (%d vs %d bytes)",
+			stream.Len(), want.Len())
+	}
+	if cs.Rows() != rows {
+		t.Fatalf("Rows() = %d, want %d", cs.Rows(), rows)
+	}
+	// ~13KB of output went through a 256-byte chunk buffer: the peak must
+	// stay near one chunk (a chunk plus at most one row), not grow with the
+	// row count.
+	if peak := cs.PeakBufferBytes(); peak > 2*256 {
+		t.Fatalf("peak buffer %d bytes exceeds 2 chunks; encoder is materializing", peak)
+	}
+}
+
+func TestCSVStreamNullsAndFullForm(t *testing.T) {
+	var plain, full bytes.Buffer
+	row := []rdf.Term{rdf.NewIRI("http://ex/a"), {}, rdf.NewLiteral("v")}
+	for _, tc := range []struct {
+		buf      *bytes.Buffer
+		fullForm bool
+	}{{&plain, false}, {&full, true}} {
+		cs := NewCSVStream(tc.buf, 0, tc.fullForm)
+		if err := cs.WriteHeader([]string{"a", "b", "c"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.WriteRow(row); err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := plain.String(); got != "a,b,c\nhttp://ex/a,,v\n" {
+		t.Fatalf("plain form: %q", got)
+	}
+	if got := full.String(); !strings.Contains(got, "<http://ex/a>") {
+		t.Fatalf("full form lacks N-Triples syntax: %q", got)
+	}
+	// The full form must round-trip through ReadCSV.
+	df, err := ReadCSV(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.Len() != 1 || df.Cell(0, "b").IsBound() {
+		t.Fatalf("round trip lost shape: %d rows", df.Len())
+	}
+}
+
+func TestCSVStreamFlushHook(t *testing.T) {
+	var buf bytes.Buffer
+	flushes := 0
+	cs := NewCSVStream(&buf, 64, false)
+	cs.SetFlushHook(func() error { flushes++; return nil })
+	if err := cs.WriteHeader([]string{"s"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := cs.WriteRow([]rdf.Term{rdf.NewIRI("http://ex/longish-subject")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if flushes < 2 {
+		t.Fatalf("flush hook fired %d times, want at least once per drained chunk", flushes)
+	}
+}

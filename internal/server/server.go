@@ -58,6 +58,11 @@ type Server struct {
 	MaxQueryCost float64
 	// RetryAfter is the Retry-After hint on shed responses (0 = 1s).
 	RetryAfter time.Duration
+	// ExportChunkBytes is the /v1/export chunk threshold: the streaming
+	// encoder drains to the client whenever its buffer crosses this size
+	// (0 = dataframe.DefaultChunkBytes). Peak server memory per export is
+	// bounded near one chunk.
+	ExportChunkBytes int
 	// Logger, when set, records one line per request.
 	Logger *log.Logger
 
@@ -83,6 +88,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/sparql", s.handleQuery)
 	mux.HandleFunc("/v1/update", s.handleUpdate)
+	mux.HandleFunc("/v1/export", s.handleExport)
+	mux.HandleFunc("/v1/features", s.handleFeatures)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {

@@ -1,14 +1,20 @@
 // Package sparql implements the fragment of SPARQL 1.1 that RDFFrames
 // generates and the paper's evaluation uses: SELECT queries with basic graph
 // patterns, FILTER, OPTIONAL, UNION, GRAPH, nested subqueries, BIND,
-// grouping/aggregation with HAVING, solution modifiers, and the SPARQL JSON
-// results format. It provides a lexer, a recursive-descent parser, and a
-// bag-semantics evaluator over the triple store with greedy join ordering.
+// property paths (p1/p2 sequences and p+/p* closures), grouping/aggregation
+// with HAVING, solution modifiers, and the SPARQL JSON results format. It
+// provides a lexer, a recursive-descent parser, and a bag-semantics
+// evaluator over the triple store with cost-based join ordering.
 //
 // The evaluator runs in dictionary-id space: solutions are columnar batches
 // of store ids, joins and DISTINCT/GROUP BY key on id tuples, and terms are
 // decoded only for expression evaluation and the final projection. See
-// PERFORMANCE.md at the repository root for the execution model.
+// PERFORMANCE.md at the repository root for the execution model and
+// docs/query-reference.md for the supported language.
+//
+// Beyond query evaluation the Engine exposes SPARQL UPDATE (Update),
+// streaming result export (Export, decoding one row at a time into a
+// RowWriter), and store-side topology-feature extraction (Features).
 package sparql
 
 import (
@@ -102,6 +108,19 @@ type SubQueryElem struct {
 	Query *Query
 }
 
+// PathElem is a transitive property-path step: S (p)+ O or S (p)* O.
+// Sequence paths (p1/p2) never reach the AST — the parser desugars them
+// into chained triple patterns through internal variables — so PathElem
+// only ever carries a single constant predicate with a + or * modifier.
+// Min is the minimum path length: 1 for +, 0 for * (zero-length paths
+// connect every graph node, and every bound endpoint, to itself).
+type PathElem struct {
+	S    Node
+	Pred rdf.Term
+	O    Node
+	Min  int
+}
+
 func (BGPElem) isElement()      {}
 func (FilterElem) isElement()   {}
 func (BindElem) isElement()     {}
@@ -110,6 +129,16 @@ func (UnionElem) isElement()    {}
 func (GraphElem) isElement()    {}
 func (GroupElem) isElement()    {}
 func (SubQueryElem) isElement() {}
+func (PathElem) isElement()     {}
+
+// String renders the path in SPARQL syntax (without trailing dot).
+func (pe PathElem) String() string {
+	mod := "+"
+	if pe.Min == 0 {
+		mod = "*"
+	}
+	return pe.S.String() + " " + pe.Pred.String() + mod + " " + pe.O.String()
+}
 
 // Group is a group graph pattern: an ordered list of elements.
 type Group struct {
@@ -166,6 +195,12 @@ func (g *Group) scopeVars() []string {
 	var out []string
 	seen := map[string]bool{}
 	add := func(v string) {
+		// Internal variables minted by the parser for sequence-path
+		// desugaring carry a '.' prefix no user variable can have; they
+		// join patterns together but never surface through SELECT *.
+		if len(v) > 0 && v[0] == '.' {
+			return
+		}
 		if !seen[v] {
 			seen[v] = true
 			out = append(out, v)
@@ -178,6 +213,13 @@ func (g *Group) scopeVars() []string {
 			case BGPElem:
 				for _, v := range e.Pattern.Vars() {
 					add(v)
+				}
+			case PathElem:
+				if e.S.IsVar {
+					add(e.S.Var)
+				}
+				if e.O.IsVar {
+					add(e.O.Var)
 				}
 			case BindElem:
 				add(e.Var)

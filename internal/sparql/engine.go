@@ -205,6 +205,16 @@ func (e *Engine) planFor(q *Query) *queryPlan {
 // evalLocked evaluates q under an already-optimized plan (nil runs the
 // greedy heuristic) with the store read lock already held.
 func (e *Engine) evalLocked(ctx context.Context, q *Query, qp *queryPlan) (*Results, error) {
+	ev, err := e.evaluatorLocked(ctx, qp)
+	if err != nil {
+		return nil, err
+	}
+	return ev.evalQuery(q, e.DefaultGraphs)
+}
+
+// evaluatorLocked runs the eval hook, counts the evaluation, and builds
+// the evaluator for one query run. The caller holds the store read lock.
+func (e *Engine) evaluatorLocked(ctx context.Context, qp *queryPlan) (*evaluator, error) {
 	if h := e.evalHook.Load(); h != nil {
 		if err := (*h)(ctx); err != nil {
 			return nil, err
@@ -225,5 +235,5 @@ func (e *Engine) evalLocked(ctx context.Context, q *Query, qp *queryPlan) (*Resu
 	if d := e.Timeout(); d > 0 {
 		ev.tk.deadline = time.Now().Add(d)
 	}
-	return ev.evalQuery(q, e.DefaultGraphs)
+	return ev, nil
 }

@@ -566,6 +566,16 @@ func (ev *evaluator) evalGroup(g *Group, graphs []string, graphOverride string) 
 				return nil, err
 			}
 			ev.qp.recordElem(g, idx, current.n)
+		case PathElem:
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			var err error
+			current, err = ev.evalPath(current, e, active)
+			if err != nil {
+				return nil, err
+			}
+			ev.qp.recordElem(g, idx, current.n)
 		default:
 			return nil, fmt.Errorf("sparql: unknown group element %T", el)
 		}

@@ -1,0 +1,68 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+
+	"rdfframes/internal/rdf"
+)
+
+// Streaming result export. Export evaluates a query and hands its
+// solutions to a RowWriter one row at a time: solutions stay in compact
+// id space (the columnar batch execution already produces) and each row
+// is decoded into a single reused buffer — the decoded term table and the
+// encoded response body are never materialized. Row order is the same
+// canonical order every other read path serves, so an export is
+// byte-identical across plan and parallelism choices.
+
+// RowWriter consumes one streamed result: the header, then each row in
+// order. Implementations must not retain the row slice — it is reused.
+// dataframe.FrameWriter implementations (e.g. the chunked CSV stream)
+// satisfy this interface.
+type RowWriter interface {
+	WriteHeader(vars []string) error
+	WriteRow(row []rdf.Term) error
+}
+
+// Export evaluates src and streams its solutions to w, returning the
+// number of rows written. Errors before the first row (parse, plan,
+// evaluation) leave w untouched, so callers can still send a clean HTTP
+// error; a decode/write error mid-stream returns the rows already
+// written. The caller flushes w when it is buffered.
+func (e *Engine) Export(ctx context.Context, src string, w RowWriter) (int, error) {
+	q, qp, err := e.planned(ctx, src)
+	if err != nil {
+		return 0, err
+	}
+	if q.Explain {
+		return 0, fmt.Errorf("sparql: export: EXPLAIN queries have no row stream")
+	}
+	e.Store.RLock()
+	defer e.Store.RUnlock()
+	ev, err := e.evaluatorLocked(ctx, qp)
+	if err != nil {
+		return 0, err
+	}
+	sols, err := ev.evalQueryRows(q, e.DefaultGraphs, true)
+	if err != nil {
+		return 0, err
+	}
+	vars := append([]string(nil), sols.vars...)
+	if err := w.WriteHeader(vars); err != nil {
+		return 0, err
+	}
+	buf := make([]rdf.Term, len(vars))
+	for i := 0; i < sols.n; i++ {
+		if err := ev.tick(); err != nil {
+			return i, err
+		}
+		row := sols.row(i)
+		for j, id := range row {
+			buf[j] = ev.dict.decode(id)
+		}
+		if err := w.WriteRow(buf); err != nil {
+			return i, err
+		}
+	}
+	return sols.n, nil
+}

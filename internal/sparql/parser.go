@@ -28,6 +28,11 @@ type parser struct {
 	toks     []token
 	i        int
 	prefixes *rdf.PrefixMap
+	// pathVars counts the internal variables minted while desugaring
+	// sequence property paths, so every chained segment joins through a
+	// fresh ".pN" name (the '.' prefix is unlexable in a user variable,
+	// so collisions are impossible).
+	pathVars int
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -376,7 +381,7 @@ func (p *parser) parseTriplesBlock(g *Group) error {
 		return err
 	}
 	for {
-		pred, err := p.parseVerb()
+		pred, steps, err := p.parseVerbPath()
 		if err != nil {
 			return err
 		}
@@ -385,7 +390,11 @@ func (p *parser) parseTriplesBlock(g *Group) error {
 			if err != nil {
 				return err
 			}
-			g.Elems = append(g.Elems, BGPElem{Pattern: TriplePattern{S: subj, P: pred, O: obj}})
+			if steps == nil {
+				g.Elems = append(g.Elems, BGPElem{Pattern: TriplePattern{S: subj, P: pred, O: obj}})
+			} else {
+				p.emitPath(g, subj, steps, obj)
+			}
 			if !p.punct(",") {
 				break
 			}
@@ -408,6 +417,82 @@ func (p *parser) parseVerb() (Node, error) {
 		return TermNode(rdf.NewIRI(rdf.RDFType)), nil
 	}
 	return p.parseNode()
+}
+
+// pathStep is one parsed step of a property path: a constant predicate
+// with an optional transitive closure modifier. min is the minimum path
+// length (1 for '+', 0 for '*'); min < 0 marks a plain single-hop step.
+type pathStep struct {
+	pred rdf.Term
+	min  int
+}
+
+// parseVerbPath parses the predicate position of a triple: a variable, a
+// plain constant predicate (steps == nil in both cases), or a property
+// path — '/'-joined constant steps, each optionally modified by '+' or
+// '*'. Variables cannot take path modifiers or participate in sequences.
+func (p *parser) parseVerbPath() (Node, []pathStep, error) {
+	verb, err := p.parseVerb()
+	if err != nil {
+		return Node{}, nil, err
+	}
+	if verb.IsVar {
+		if t := p.peek(); t.kind == tokPunct && (t.text == "/" || t.text == "+" || t.text == "*") {
+			return Node{}, nil, p.errf("property paths require constant predicates, got variable ?%s", verb.Var)
+		}
+		return verb, nil, nil
+	}
+	mod := p.parsePathMod()
+	if mod < 0 {
+		if t := p.peek(); t.kind != tokPunct || t.text != "/" {
+			return verb, nil, nil // plain predicate: no path machinery
+		}
+	}
+	steps := []pathStep{{pred: verb.Term, min: mod}}
+	for p.punct("/") {
+		step, err := p.parseVerb()
+		if err != nil {
+			return Node{}, nil, err
+		}
+		if step.IsVar {
+			return Node{}, nil, p.errf("property paths require constant predicates, got variable ?%s", step.Var)
+		}
+		steps = append(steps, pathStep{pred: step.Term, min: p.parsePathMod()})
+	}
+	return Node{}, steps, nil
+}
+
+// parsePathMod consumes a '+' or '*' path modifier if present, returning
+// the minimum path length it implies (-1 when absent).
+func (p *parser) parsePathMod() int {
+	switch {
+	case p.punct("+"):
+		return 1
+	case p.punct("*"):
+		return 0
+	}
+	return -1
+}
+
+// emitPath desugars one (subject, path, object) triple into group
+// elements: plain steps become ordinary triple patterns, transitive steps
+// become PathElems, and consecutive steps chain through fresh internal
+// ".pN" variables invisible to SELECT *.
+func (p *parser) emitPath(g *Group, subj Node, steps []pathStep, obj Node) {
+	cur := subj
+	for i, st := range steps {
+		end := obj
+		if i < len(steps)-1 {
+			end = Variable(fmt.Sprintf(".p%d", p.pathVars))
+			p.pathVars++
+		}
+		if st.min < 0 {
+			g.Elems = append(g.Elems, BGPElem{Pattern: TriplePattern{S: cur, P: TermNode(st.pred), O: end}})
+		} else {
+			g.Elems = append(g.Elems, PathElem{S: cur, Pred: st.pred, O: end, Min: st.min})
+		}
+		cur = end
+	}
 }
 
 // parseNode parses a term or variable usable in a triple pattern.

@@ -338,6 +338,17 @@ func (p *planner) planGroup(g *Group, graphs []string, override string) *plan.No
 			for _, v := range e.Query.projectedVars() {
 				bound[v] = true
 			}
+		case PathElem:
+			flush()
+			jn := plan.NewNode("path", e.String())
+			p.qp.elems[elemRef{g, idx}] = jn
+			node.Add(jn)
+			if e.S.IsVar {
+				bound[e.S.Var] = true
+			}
+			if e.O.IsVar {
+				bound[e.O.Var] = true
+			}
 		}
 	}
 	flush()
@@ -586,6 +597,13 @@ func countGroupUses(g *Group, uses map[string]int) {
 			countGroupUses(e.Group, uses)
 		case SubQueryElem:
 			countQueryUses(e.Query, uses)
+		case PathElem:
+			if e.S.IsVar {
+				uses[e.S.Var]++
+			}
+			if e.O.IsVar {
+				uses[e.O.Var]++
+			}
 		}
 	}
 }

@@ -28,6 +28,7 @@ const (
 	runObjectsOfPred                 // distinct objects of predicate a
 	runObjectsSP                     // objects of the (a=s, b=p) pair
 	runSubjectsPO                    // subjects of the (a=p, b=o) pair
+	runNodes                         // distinct nodes: every live subject and object
 )
 
 // runKey identifies one memoized run.
@@ -134,6 +135,32 @@ func (g *Graph) SubjectsPO(p, o ID) Run {
 			}
 		}
 		return out
+	})
+}
+
+// Nodes returns the sorted distinct nodes of the graph: every id that
+// appears in subject or object position of a live triple. This is the
+// domain of zero-length property paths (?s p* ?o with both ends unbound)
+// and the node universe topology features are computed over. Memoized
+// like every derived run.
+func (g *Graph) Nodes() Run {
+	return g.run(runKey{runNodes, 0, 0}, func() []ID {
+		seen := make(map[ID]struct{}, 2*len(g.spo))
+		ids := make([]ID, 0, 2*len(g.spo))
+		for _, t := range g.all {
+			if g.isDead(t) {
+				continue
+			}
+			if _, ok := seen[t.S]; !ok {
+				seen[t.S] = struct{}{}
+				ids = append(ids, t.S)
+			}
+			if _, ok := seen[t.O]; !ok {
+				seen[t.O] = struct{}{}
+				ids = append(ids, t.O)
+			}
+		}
+		return ids
 	})
 }
 

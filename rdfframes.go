@@ -29,6 +29,7 @@ package rdfframes
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"rdfframes/internal/client"
@@ -44,6 +45,21 @@ type DataFrame = dataframe.DataFrame
 
 // Client executes SPARQL queries; see ConnectHTTP and ConnectStore.
 type Client = client.Client
+
+// Exporter is the streaming-export side of a client: Export writes a
+// query's full result into w as CSV without materializing it on either
+// end. Both ConnectHTTP and ConnectStore clients implement it.
+type Exporter interface {
+	Export(query string, w io.Writer) (int64, error)
+}
+
+// Featurizer is the topology-features side of a client: Features returns
+// per-node in/out degree and bounded 2-hop neighborhood counts for the
+// distinct nodes a query selects, computed store-side without decoding.
+// Both ConnectHTTP and ConnectStore clients implement it.
+type Featurizer interface {
+	Features(query, nodeVar string, hopCap int) (*sparql.Results, error)
+}
 
 // JoinType selects join semantics for Join and JoinOn.
 type JoinType = core.JoinType
